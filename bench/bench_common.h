@@ -1,0 +1,38 @@
+// Shared helpers for the experiment benchmark binaries.
+//
+// Every binary prints the rows of one table/figure from the paper. Scale the
+// run length with LGSIM_BENCH_SCALE (e.g. 0.1 for a quick pass, 10 for a
+// longer, lower-variance run); 1.0 reproduces the defaults quoted in
+// EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace lgsim::bench {
+
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("LGSIM_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+inline std::int64_t scaled(std::int64_t n, std::int64_t lo = 1) {
+  const auto v = static_cast<std::int64_t>(static_cast<double>(n) * scale());
+  return v < lo ? lo : v;
+}
+
+inline void banner(const char* id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("(LGSIM_BENCH_SCALE=%.3g)\n", scale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace lgsim::bench

@@ -1,0 +1,73 @@
+// Figure 9: DCTCP throughput timeline on a 25G link with 1e-3 loss:
+// corruption starts, then LinkGuardian is activated; panel (b) repeats the
+// run with the backpressure mechanism disabled.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/timeline.h"
+#include "util/table.h"
+
+namespace {
+
+void print_run(const lgsim::harness::TimelineResult& r, const char* title) {
+  using lgsim::TablePrinter;
+  using lgsim::to_msec;
+  std::printf("\n--- %s ---\n", title);
+  TablePrinter t({"t (ms)", "goodput (Gbps)", "qdepth (KB)", "LG Rx buffer (KB)",
+                  "e2e retx (cum)"});
+  const auto& g = r.goodput_gbps.samples();
+  for (std::size_t i = 0; i < g.size(); i += 4) {
+    t.add_row({TablePrinter::fmt(to_msec(g[i].time), 0),
+               TablePrinter::fmt(g[i].value, 2),
+               TablePrinter::fmt(r.qdepth_bytes.samples()[i].value / 1000.0, 1),
+               TablePrinter::fmt(r.rx_buffer_bytes.samples()[i].value / 1000.0, 1),
+               TablePrinter::fmt(r.e2e_retx.samples()[i].value, 0)});
+  }
+  t.print();
+  std::printf(
+      "phases: before corruption %.2f Gbps | corruption (no LG) %.2f Gbps | "
+      "LG active %.2f Gbps; reorder-buffer overflow drops: %lld; e2e retx "
+      "total: %lld\n",
+      r.goodput_before(), r.goodput_during_loss(), r.goodput_with_lg(),
+      static_cast<long long>(r.reorder_drops),
+      static_cast<long long>(r.e2e_retx_total));
+}
+
+}  // namespace
+
+int main() {
+  using namespace lgsim;
+  using namespace lgsim::harness;
+  bench::banner("Figure 9", "DCTCP on a 25G link with 1e-3 loss: LinkGuardian timeline");
+
+  TimelineConfig c;
+  c.transport = Transport::kDctcp;
+  c.rate = gbps(25);
+  c.loss_rate = 1e-3;
+  c.mean_burst = 1.0;  // panel (a): independent random corruption
+  c.t_corruption = msec(bench::scaled(200, 40));
+  c.t_lg = 2 * c.t_corruption;
+  c.t_end = 4 * c.t_corruption;
+  c.sample_period = c.t_end / 120;
+  print_run(run_timeline(c), "Fig 9a: LinkGuardian (backpressure on)");
+
+  // Panel (b): backpressure disabled, bursty corruption (the paper's 25G
+  // losses at 1e-3 are not i.i.d., sec 4.1) — the reordering buffer
+  // accumulates and overflows.
+  TimelineConfig b = c;
+  b.backpressure = false;
+  b.loss_rate = 5e-3;
+  b.mean_burst = 2.5;
+  // Our recovery model bounds the unpaused backlog at ~ackNoTimeout x line
+  // rate (see EXPERIMENTS.md), so the overflow is demonstrated at a
+  // proportionally scaled recirculation budget.
+  b.recirc_budget_bytes = 20'000;
+  b.resume_threshold_bytes = 12'000;
+  b.t_end = 6 * c.t_corruption;
+  print_run(run_timeline(b), "Fig 9b: backpressure disabled (bursty loss)");
+
+  TimelineConfig b2 = b;
+  b2.backpressure = true;
+  print_run(run_timeline(b2), "Fig 9b control: same bursty loss, backpressure on");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 13: classification of "affected" 24,387 B DCTCP flows under
+// LinkGuardianNB — why out-of-order recovery works for short TCP flows.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/fct.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lgsim;
+  using namespace lgsim::harness;
+  bench::banner("Figure 13", "Classification of affected 24,387B DCTCP flows (LG_NB)");
+
+  FctConfig c;
+  c.transport = Transport::kDctcp;
+  c.protection = Protection::kLgNb;
+  c.flow_bytes = 24'387;
+  c.trials = bench::scaled(100'000, 5'000);
+  c.loss_rate = 1e-3;
+  c.rate = gbps(100);
+  c.seed = 5000;
+  const FctResult r = run_fct(c);
+
+  const auto& cl = r.classes;
+  TablePrinter t({"Group", "Meaning", "Flows", "% of affected"});
+  auto pct = [&](std::int64_t n) {
+    return cl.affected > 0
+               ? TablePrinter::fmt(100.0 * static_cast<double>(n) /
+                                       static_cast<double>(cl.affected), 1)
+               : std::string("0");
+  };
+  t.add_row({"affected", "received >=1 SACK while LG_NB recovered a loss",
+             std::to_string(cl.affected), "100.0"});
+  t.add_row({"A", "<=2 MSS SACKed (within reordering window), no cwnd cut",
+             std::to_string(cl.group_a), pct(cl.group_a)});
+  t.add_row({"B", "<=2 MSS SACKed, tail loss", std::to_string(cl.group_b),
+             pct(cl.group_b)});
+  t.add_row({"C", ">2 MSS SACKed but nothing left to send (cut is free)",
+             std::to_string(cl.group_c), pct(cl.group_c)});
+  t.add_row({"D", ">2 MSS SACKed with pending bytes (FCT pays for the cut)",
+             std::to_string(cl.group_d), pct(cl.group_d)});
+  t.print();
+
+  std::printf(
+      "\nTrials: %lld; trials with wire loss: %lld. Paper (Fig. 13): 2950 "
+      "affected -> A=1179, B=352, C=1079, D=340; only group D (small "
+      "fraction) pays a real FCT penalty, which is why out-of-order "
+      "recovery suffices for short TCP flows.\n",
+      static_cast<long long>(r.cfg.trials),
+      static_cast<long long>(r.trials_with_wire_loss));
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Microbenchmarks (google-benchmark) for the hot paths of the simulator:
+// event queue, RNG, port datapath and the LinkGuardian protocol machinery.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "lg/link.h"
+#include "lg/seqno.h"
+#include "net/loss_model.h"
+#include "net/port.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace lgsim;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    std::int64_t sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(i, [&sum, i] { sum += i; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_SeqDistance(benchmark::State& state) {
+  lg::SeqEra a{65530, 0}, b{5, 1};
+  std::int64_t acc = 0;
+  for (auto _ : state) {
+    acc += lg::seq_distance(b, a);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SeqDistance);
+
+void BM_PortForwardPath(benchmark::State& state) {
+  // Cost of pushing one MTU frame through a port (enqueue + serialize +
+  // deliver events).
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    net::EgressPort port(sim, "p", gbps(100), 0);
+    const int q = port.add_queue();
+    std::int64_t delivered = 0;
+    port.set_deliver([&](net::Packet&&) { ++delivered; });
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::Packet p;
+      p.frame_bytes = 1518;
+      port.enqueue(q, std::move(p));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PortForwardPath);
+
+void BM_LinkGuardianDatapath(benchmark::State& state) {
+  // End-to-end protocol cost per protected packet at 1e-3 loss (includes
+  // seq stamping, buffering, ACK machinery, retransmissions).
+  const double loss = static_cast<double>(state.range(0)) * 1e-4;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Simulator sim;
+    lg::LinkSpec spec;
+    spec.rate = gbps(100);
+    lg::LgConfig cfg;
+    cfg.actual_loss_rate = loss > 0 ? loss : 1e-4;
+    lg::ProtectedLink link(sim, spec, cfg);
+    if (loss > 0)
+      link.set_loss_model(std::make_unique<net::BernoulliLoss>(loss, Rng(3)));
+    std::int64_t fwd = 0;
+    link.set_forward_sink([&](net::Packet&&) { ++fwd; });
+    link.enable_lg();
+    state.ResumeTiming();
+    for (int i = 0; i < 1000; ++i) {
+      net::Packet p;
+      p.kind = net::PktKind::kData;
+      p.frame_bytes = 1518;
+      link.send_forward(std::move(p));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(fwd);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkGuardianDatapath)->Arg(0)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Table 2: contribution of LinkGuardian's mechanisms. Top-1% FCT (us) for
+// 24,387 B DCTCP flows with bare link-local retransmission (ReTx) and the
+// tail-loss (Tail) / packet-ordering (Order) mechanisms toggled.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "harness/fct.h"
+#include "util/table.h"
+
+int main() {
+  using namespace lgsim;
+  using namespace lgsim::harness;
+  bench::banner("Table 2", "Top 1% FCT (us) for 24,387B DCTCP flows, mechanism ablation");
+
+  const std::int64_t trials = bench::scaled(50'000, 2'000);
+
+  struct Variant {
+    const char* name;
+    Protection protection;
+    bool tail;
+    bool order;
+  };
+  const Variant variants[] = {
+      {"No Loss", Protection::kNoLoss, true, true},
+      {"Loss (1e-3)", Protection::kLossOnly, true, true},
+      {"ReTx", Protection::kLg, false, false},
+      {"ReTx+Order", Protection::kLg, false, true},
+      {"ReTx+Tail", Protection::kLg, true, false},  // == LinkGuardianNB
+      {"ReTx+Tail+Order", Protection::kLg, true, true},  // == LinkGuardian
+  };
+
+  TablePrinter t({"Percentile", "No Loss", "Loss(1e-3)", "ReTx", "ReTx+Order",
+                  "ReTx+Tail", "ReTx+Tail+Order"});
+  std::vector<FctResult> results;
+  for (const auto& v : variants) {
+    FctConfig c;
+    c.transport = Transport::kDctcp;
+    c.protection = v.protection;
+    c.flow_bytes = 24'387;
+    c.trials = trials;
+    c.loss_rate = 1e-3;
+    c.rate = gbps(100);
+    c.path.lg.tail_loss_detection = v.tail;
+    c.path.lg.preserve_order = v.order;
+    c.seed = 4000;
+    results.push_back(run_fct(c));
+  }
+  for (double p : {99.0, 99.9, 99.99, 99.999}) {
+    std::vector<std::string> row{TablePrinter::fmt(p, 3) + "%"};
+    for (const auto& r : results) row.push_back(TablePrinter::fmt(r.p(p), 1));
+    t.add_row(row);
+  }
+  {
+    std::vector<std::string> row{"std dev"};
+    for (auto& r : results) {
+      double mean = r.fct_us.mean();
+      double var = 0;
+      for (double x : r.fct_us.sorted_samples()) var += (x - mean) * (x - mean);
+      var /= static_cast<double>(r.fct_us.count());
+      row.push_back(TablePrinter::fmt(std::sqrt(var), 1));
+    }
+    t.add_row(row);
+  }
+  t.print();
+  std::printf(
+      "\nExpected shape (paper Table 2): ReTx alone fixes the 99.9th "
+      "percentile; Tail handling fixes 99.99%%+; adding Order recovers the "
+      "last gap to the no-loss tail.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Datacenter-scale deployment study (the §4.8 methodology, interactive).
+//
+// Simulates a Facebook-fabric network where links randomly start corrupting
+// (Weibull onsets, Table 1 loss rates), compares vanilla CorrOpt against
+// LinkGuardian + CorrOpt on the same trace, and prints the penalty/capacity
+// trade-off.
+//
+//   ./examples/fabric_deployment [pods] [days] [constraint]
+#include <cstdio>
+#include <cstdlib>
+
+#include "corropt/corropt.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace lgsim;
+  using namespace lgsim::corropt;
+
+  DeploymentConfig base;
+  base.topo.pods = argc > 1 ? std::atoi(argv[1]) : 64;
+  const double days = argc > 2 ? std::atof(argv[2]) : 90.0;
+  base.capacity_constraint = argc > 3 ? std::atof(argv[3]) : 0.75;
+  base.duration_hours = 24.0 * days;
+  base.mttf_hours = 10'000;
+  base.sample_period_hours = 2.0;
+  base.seed = 2024;
+
+  fabric::FabricTopology probe(base.topo);
+  std::printf(
+      "Topology: %d pods, %lld optical links; %0.f days, constraint %.0f%%\n\n",
+      base.topo.pods, static_cast<long long>(probe.n_links()), days,
+      100 * base.capacity_constraint);
+
+  TablePrinter t({"Strategy", "corruption events", "disabled", "kept active",
+                  "mean penalty", "worst least-paths (%)",
+                  "worst least-cap (%)", "max LG/switch"});
+  for (bool lg : {false, true}) {
+    DeploymentConfig c = base;
+    c.use_linkguardian = lg;
+    const DeploymentResult r = run_deployment(c);
+    double mean_penalty = 0, min_paths = 1, min_cap = 1;
+    for (const auto& s : r.samples) {
+      mean_penalty += s.total_penalty;
+      min_paths = std::min(min_paths, s.least_paths_frac);
+      min_cap = std::min(min_cap, s.least_capacity_frac);
+    }
+    if (!r.samples.empty()) mean_penalty /= static_cast<double>(r.samples.size());
+    t.add_row({lg ? "LinkGuardian + CorrOpt" : "CorrOpt",
+               std::to_string(r.corruption_events),
+               std::to_string(r.disabled_immediately + r.disabled_by_optimizer),
+               std::to_string(r.kept_active), TablePrinter::sci(mean_penalty),
+               TablePrinter::fmt(100 * min_paths, 1),
+               TablePrinter::fmt(100 * min_cap, 2),
+               std::to_string(r.max_lg_per_switch)});
+  }
+  t.print();
+  std::printf(
+      "\nThe corrupting links CorrOpt cannot disable (capacity constraint) "
+      "keep hurting in the vanilla row; with LinkGuardian their penalty "
+      "collapses by orders of magnitude for a sub-percent capacity cost.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Quickstart: protect one corrupting 100G link with LinkGuardian.
+//
+// Builds a single protected link, injects a line-rate stream of MTU packets
+// while the link corrupts ~1 in 10,000 frames, and shows that the receiver
+// sees every packet exactly once, in order, with recovery happening at
+// microsecond (sub-RTT) timescales.
+//
+//   ./examples/quickstart [loss_rate] [packets]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "lg/link.h"
+#include "net/loss_model.h"
+#include "sim/simulator.h"
+
+int main(int argc, char** argv) {
+  using namespace lgsim;
+
+  const double loss_rate = argc > 1 ? std::atof(argv[1]) : 1e-4;
+  const std::int64_t packets = argc > 2 ? std::atoll(argv[2]) : 200'000;
+
+  Simulator sim;
+
+  // 1. Describe the link and the protection policy.
+  lg::LinkSpec spec;
+  spec.rate = gbps(100);
+  spec.name = "sw2->sw6";
+
+  lg::LgConfig cfg;
+  cfg.target_loss_rate = 1e-8;     // operator target (Eq. 1)
+  cfg.actual_loss_rate = loss_rate;  // what corruptd measured
+  std::printf("Protecting a 100G link: loss %.0e, target %.0e -> %d retx copies\n",
+              loss_rate, cfg.target_loss_rate, cfg.n_retx_copies());
+
+  // 2. Build the protected link and give it a corruption process.
+  lg::ProtectedLink link(sim, spec, cfg);
+  link.set_loss_model(std::make_unique<net::BernoulliLoss>(loss_rate, Rng(1)));
+
+  // 3. Count what comes out the far side, checking order.
+  std::int64_t delivered = 0;
+  std::uint64_t last_uid = 0;
+  bool in_order = true;
+  link.set_forward_sink([&](net::Packet&& p) {
+    if (delivered > 0 && p.uid != last_uid + 1) in_order = false;
+    last_uid = p.uid;
+    ++delivered;
+  });
+
+  // 4. Activate LinkGuardian (what corruptd does) and offer line-rate load.
+  link.enable_lg();
+  std::int64_t sent = 0;
+  std::function<void()> inject = [&] {
+    net::Packet p;
+    p.kind = net::PktKind::kData;
+    p.frame_bytes = 1518;
+    p.uid = static_cast<std::uint64_t>(++sent);
+    link.send_forward(std::move(p));
+    if (sent < packets) sim.schedule_in(nsec(124), inject);
+  };
+  sim.schedule_at(0, [&] { inject(); });
+  sim.run();
+
+  // 5. Report.
+  const auto& ss = link.sender().stats();
+  const auto& rs = link.receiver().stats();
+  std::printf("\nsent %lld packets; wire corrupted %lld frames\n",
+              static_cast<long long>(sent),
+              static_cast<long long>(link.forward_port().counters().corrupted_frames));
+  std::printf("delivered %lld (%s order), duplicates dropped: %lld\n",
+              static_cast<long long>(delivered),
+              in_order ? "in" : "OUT OF", static_cast<long long>(rs.dup_dropped));
+  std::printf("losses detected %lld, recovered %lld, effectively lost %lld\n",
+              static_cast<long long>(rs.reported_lost),
+              static_cast<long long>(rs.recovered),
+              static_cast<long long>(rs.effectively_lost));
+  if (rs.retx_delay_us.count() > 0) {
+    std::printf("recovery delay: median %.2f us, max %.2f us (sub-RTT)\n",
+                rs.retx_delay_us.percentile(50), rs.retx_delay_us.max());
+  }
+  std::printf("retransmission copies sent: %lld (%d per loss, Eq. 2)\n",
+              static_cast<long long>(ss.retx_copies_sent), cfg.n_retx_copies());
+  return delivered == sent && in_order && rs.effectively_lost == 0 ? 0 : 1;
+}

@@ -1,0 +1,190 @@
+#include "corropt/corropt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgsim::corropt {
+
+const std::vector<LossBucket>& table1_buckets() {
+  static const std::vector<LossBucket> kBuckets = {
+      {1e-8, 1e-5, 0.4723},
+      {1e-5, 1e-4, 0.1843},
+      {1e-4, 1e-3, 0.2166},
+      {1e-3, 1e-1, 0.1267},  // "[1e-3+)": cap at 10% loss
+  };
+  return kBuckets;
+}
+
+double sample_loss_rate(Rng& rng) {
+  const auto& buckets = table1_buckets();
+  double u = rng.uniform();
+  for (const auto& b : buckets) {
+    if (u < b.fraction) {
+      // Log-uniform within the bucket.
+      const double f = rng.uniform();
+      return std::exp(std::log(b.lo) + f * (std::log(b.hi) - std::log(b.lo)));
+    }
+    u -= b.fraction;
+  }
+  return buckets.back().hi;
+}
+
+std::vector<CorruptionEvent> generate_trace(std::int64_t n_links,
+                                            double duration_hours,
+                                            double mttf_hours, Rng& rng) {
+  std::vector<CorruptionEvent> trace;
+  for (std::int64_t l = 0; l < n_links; ++l) {
+    // Weibull with shape 1 (Appendix D, Eq. 3): memoryless inter-failure
+    // times with mean MTTF. A link can fail repeatedly within the horizon;
+    // subsequent failures only matter once it has been repaired, which the
+    // deployment simulation enforces.
+    double t = rng.weibull(1.0, mttf_hours);
+    while (t < duration_hours) {
+      trace.push_back({t, l, sample_loss_rate(rng)});
+      t += rng.weibull(1.0, mttf_hours);
+    }
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const CorruptionEvent& a, const CorruptionEvent& b) {
+              return a.time_hours < b.time_hours;
+            });
+  return trace;
+}
+
+double lg_effective_speed(double loss_rate) {
+  // Fig. 8, ordered LinkGuardian on a 100G link: ~99.9% at 1e-5, ~99.5% at
+  // 1e-4, ~92% at 1e-3; extrapolate mildly beyond.
+  if (loss_rate <= 1e-5) return 0.999;
+  if (loss_rate <= 1e-4) return 0.995;
+  if (loss_rate <= 1e-3) return 0.92;
+  return 0.85;
+}
+
+namespace {
+
+struct RepairEvent {
+  double time_hours;
+  std::int64_t link;
+  bool operator>(const RepairEvent& o) const { return time_hours > o.time_hours; }
+};
+
+}  // namespace
+
+DeploymentResult run_deployment(const DeploymentConfig& cfg) {
+  DeploymentResult res;
+  res.cfg = cfg;
+
+  fabric::FabricTopology topo(cfg.topo);
+  Rng rng(cfg.seed);
+  Rng repair_rng = rng.split();
+  const auto trace =
+      generate_trace(topo.n_links(), cfg.duration_hours, cfg.mttf_hours, rng);
+  res.corruption_events = static_cast<std::int64_t>(trace.size());
+
+  std::priority_queue<RepairEvent, std::vector<RepairEvent>, std::greater<>>
+      repairs;
+  // Links waiting for an optimizer pass (corrupting but not disablable yet).
+  std::vector<std::int64_t> active_corrupting;
+
+  auto repair_duration = [&]() {
+    return repair_rng.bernoulli(cfg.repair_fast_fraction) ? cfg.repair_fast_hours
+                                                          : cfg.repair_slow_hours;
+  };
+
+  auto disable_link = [&](std::int64_t id, double now) {
+    auto& l = topo.link(id);
+    l.up = false;
+    l.lg_enabled = false;
+    l.effective_speed = 1.0;
+    repairs.push({now + repair_duration(), id});
+  };
+
+  auto start_corruption = [&](const CorruptionEvent& ev) {
+    auto& l = topo.link(ev.link);
+    if (!l.up || l.corrupting) return;  // already down or already corrupting
+    l.corrupting = true;
+    l.loss_rate = ev.loss_rate;
+    if (cfg.use_linkguardian) {
+      // §3.6: activate LinkGuardian immediately, then try to disable.
+      l.lg_enabled = true;
+      l.effective_speed = lg_effective_speed(ev.loss_rate);
+    }
+    if (topo.can_disable(ev.link, cfg.capacity_constraint)) {
+      ++res.disabled_immediately;
+      disable_link(ev.link, ev.time_hours);
+    } else {
+      ++res.kept_active;
+      active_corrupting.push_back(ev.link);
+    }
+  };
+
+  auto run_optimizer = [&](double now) {
+    // Greedy CorrOpt optimizer: consider remaining corrupting links in
+    // decreasing loss-rate order and disable whatever now fits.
+    std::sort(active_corrupting.begin(), active_corrupting.end(),
+              [&](std::int64_t a, std::int64_t b) {
+                return topo.link(a).loss_rate > topo.link(b).loss_rate;
+              });
+    std::vector<std::int64_t> still_active;
+    for (std::int64_t id : active_corrupting) {
+      auto& l = topo.link(id);
+      if (!l.up || !l.corrupting) continue;
+      if (topo.can_disable(id, cfg.capacity_constraint)) {
+        ++res.disabled_by_optimizer;
+        disable_link(id, now);
+      } else {
+        still_active.push_back(id);
+      }
+    }
+    active_corrupting = std::move(still_active);
+  };
+
+  // Main loop: merge the corruption trace, repair completions, and periodic
+  // metric sampling in time order.
+  std::size_t ti = 0;
+  double next_sample = cfg.sample_period_hours;
+  double now = 0.0;
+  while (now < cfg.duration_hours) {
+    double t_trace = ti < trace.size() ? trace[ti].time_hours : 1e18;
+    double t_repair = !repairs.empty() ? repairs.top().time_hours : 1e18;
+    double t_next = std::min({t_trace, t_repair, next_sample});
+    if (t_next >= cfg.duration_hours) break;
+    now = t_next;
+    if (t_next == t_trace) {
+      start_corruption(trace[ti++]);
+    } else if (t_next == t_repair) {
+      const auto ev = repairs.top();
+      repairs.pop();
+      auto& l = topo.link(ev.link);
+      l.up = true;
+      l.corrupting = false;
+      l.loss_rate = 0.0;
+      l.lg_enabled = false;
+      l.effective_speed = 1.0;
+      // A repaired link returning is CorrOpt's trigger to re-optimize.
+      run_optimizer(now);
+    } else {
+      DeploymentSample s;
+      s.time_hours = now;
+      s.total_penalty = topo.total_penalty(cfg.lg_target_loss);
+      s.least_paths_frac = topo.least_paths_per_tor_frac();
+      s.least_capacity_frac = topo.least_capacity_per_pod_frac();
+      s.corrupting_links = 0;
+      s.disabled_links = 0;
+      s.lg_links = 0;
+      for (std::int64_t i = 0; i < topo.n_links(); ++i) {
+        const auto& l = topo.link(i);
+        if (!l.up) ++s.disabled_links;
+        if (l.up && l.corrupting) ++s.corrupting_links;
+        if (l.up && l.lg_enabled) ++s.lg_links;
+      }
+      res.samples.push_back(s);
+      res.max_lg_per_switch =
+          std::max(res.max_lg_per_switch, topo.max_lg_links_per_switch());
+      next_sample += cfg.sample_period_hours;
+    }
+  }
+  return res;
+}
+
+}  // namespace lgsim::corropt

@@ -1,0 +1,190 @@
+#include "fabric/topology.h"
+#include "lg/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lgsim::fabric {
+
+FabricTopology::FabricTopology(const TopologyConfig& cfg) : cfg_(cfg) {
+  tor_fabric_base_ = 0;
+  const std::int64_t n_tf = static_cast<std::int64_t>(cfg.pods) *
+                            cfg.tors_per_pod * cfg.fabrics_per_pod;
+  fabric_spine_base_ = n_tf;
+  const std::int64_t n_fs = static_cast<std::int64_t>(cfg.pods) *
+                            cfg.fabrics_per_pod * cfg.spines_per_plane;
+  links_.resize(n_tf + n_fs);
+  for (std::int32_t p = 0; p < cfg.pods; ++p) {
+    for (std::int32_t t = 0; t < cfg.tors_per_pod; ++t) {
+      for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+        Link& l = links_[tor_fabric_link(p, t, f)];
+        l.layer = LinkLayer::kTorFabric;
+        l.pod = p;
+        l.tor = t;
+        l.fabric = f;
+      }
+    }
+    for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+      for (std::int32_t s = 0; s < cfg.spines_per_plane; ++s) {
+        Link& l = links_[fabric_spine_link(p, f, s)];
+        l.layer = LinkLayer::kFabricSpine;
+        l.pod = p;
+        l.fabric = f;
+        l.spine = s;
+      }
+    }
+  }
+}
+
+std::int64_t FabricTopology::tor_fabric_link(std::int32_t pod, std::int32_t tor,
+                                             std::int32_t fabric) const {
+  return tor_fabric_base_ +
+         (static_cast<std::int64_t>(pod) * cfg_.tors_per_pod + tor) *
+             cfg_.fabrics_per_pod +
+         fabric;
+}
+
+std::int64_t FabricTopology::fabric_spine_link(std::int32_t pod,
+                                               std::int32_t fabric,
+                                               std::int32_t spine) const {
+  return fabric_spine_base_ +
+         (static_cast<std::int64_t>(pod) * cfg_.fabrics_per_pod + fabric) *
+             cfg_.spines_per_plane +
+         spine;
+}
+
+std::int32_t FabricTopology::up_spine_links(std::int32_t pod,
+                                            std::int32_t fabric) const {
+  std::int32_t n = 0;
+  for (std::int32_t s = 0; s < cfg_.spines_per_plane; ++s) {
+    if (links_[fabric_spine_link(pod, fabric, s)].up) ++n;
+  }
+  return n;
+}
+
+std::int64_t FabricTopology::paths_per_tor(std::int32_t pod,
+                                           std::int32_t tor) const {
+  std::int64_t paths = 0;
+  for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+    if (!links_[tor_fabric_link(pod, tor, f)].up) continue;
+    paths += up_spine_links(pod, f);
+  }
+  return paths;
+}
+
+double FabricTopology::least_paths_per_tor_frac() const {
+  const double max_paths = static_cast<double>(max_paths_per_tor());
+  double least = 1.0;
+  for (std::int32_t p = 0; p < cfg_.pods; ++p) {
+    // up_spine_links is shared by all ToRs of the pod; compute it once.
+    std::int32_t up_spines[64];
+    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f)
+      up_spines[f] = up_spine_links(p, f);
+    for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
+      std::int64_t paths = 0;
+      for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+        if (links_[tor_fabric_link(p, t, f)].up) paths += up_spines[f];
+      }
+      least = std::min(least, static_cast<double>(paths) / max_paths);
+    }
+  }
+  return least;
+}
+
+bool FabricTopology::can_disable(std::int64_t link_id, double constraint) const {
+  const Link& l = links_[link_id];
+  if (!l.up) return true;
+  const double max_paths = static_cast<double>(max_paths_per_tor());
+  std::int32_t up_spines[64];
+  for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f)
+    up_spines[f] = up_spine_links(l.pod, f);
+
+  if (l.layer == LinkLayer::kTorFabric) {
+    // Only this ToR is affected: it loses up_spines[l.fabric] paths.
+    std::int64_t paths = 0;
+    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+      if (f == l.fabric) continue;
+      if (links_[tor_fabric_link(l.pod, l.tor, f)].up) paths += up_spines[f];
+    }
+    return static_cast<double>(paths) / max_paths >= constraint;
+  }
+  // Fabric-spine: every ToR of the pod connected to this fabric switch loses
+  // one path through it.
+  up_spines[l.fabric] -= 1;
+  for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
+    std::int64_t paths = 0;
+    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+      if (links_[tor_fabric_link(l.pod, t, f)].up) paths += up_spines[f];
+    }
+    if (static_cast<double>(paths) / max_paths < constraint) return false;
+  }
+  return true;
+}
+
+double FabricTopology::least_capacity_per_pod_frac() const {
+  double least = 1.0;
+  for (std::int32_t p = 0; p < cfg_.pods; ++p) {
+    double tf = 0.0, fs = 0.0;
+    for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
+      for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+        const Link& l = links_[tor_fabric_link(p, t, f)];
+        if (l.up) tf += l.effective_speed;
+      }
+    }
+    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+      for (std::int32_t s = 0; s < cfg_.spines_per_plane; ++s) {
+        const Link& l = links_[fabric_spine_link(p, f, s)];
+        if (l.up) fs += l.effective_speed;
+      }
+    }
+    const double nominal_tf =
+        static_cast<double>(cfg_.tors_per_pod) * cfg_.fabrics_per_pod;
+    const double nominal_fs =
+        static_cast<double>(cfg_.fabrics_per_pod) * cfg_.spines_per_plane;
+    // ToR->spine capacity is bounded by the thinner layer.
+    const double cap = std::min(tf / nominal_tf, fs / nominal_fs);
+    least = std::min(least, cap);
+  }
+  return least;
+}
+
+double FabricTopology::total_penalty(double lg_target_loss) const {
+  double penalty = 0.0;
+  for (const Link& l : links_) {
+    if (!l.up || !l.corrupting) continue;
+    if (l.lg_enabled) {
+      // Residual loss after N-copy retransmission (Eq. 1); never worse than
+      // the raw loss.
+      const int n = lg::retx_copies(l.loss_rate, lg_target_loss);
+      penalty += std::min(l.loss_rate, std::pow(l.loss_rate, n + 1));
+    } else {
+      penalty += l.loss_rate;
+    }
+  }
+  return penalty;
+}
+
+std::int32_t FabricTopology::max_lg_links_per_switch() const {
+  // Count LG-enabled links per transmitting switch. For ToR-fabric links
+  // corruption is unidirectional: the protecting sender is the ToR (or the
+  // fabric switch for fabric-spine links).
+  std::vector<std::int32_t> per_fabric(
+      static_cast<std::size_t>(cfg_.pods) * cfg_.fabrics_per_pod, 0);
+  std::vector<std::int32_t> per_tor(
+      static_cast<std::size_t>(cfg_.pods) * cfg_.tors_per_pod, 0);
+  std::int32_t worst = 0;
+  for (const Link& l : links_) {
+    if (!l.lg_enabled || !l.up) continue;
+    if (l.layer == LinkLayer::kTorFabric) {
+      auto& c = per_tor[static_cast<std::size_t>(l.pod) * cfg_.tors_per_pod + l.tor];
+      worst = std::max(worst, ++c);
+    } else {
+      auto& c = per_fabric[static_cast<std::size_t>(l.pod) * cfg_.fabrics_per_pod +
+                           l.fabric];
+      worst = std::max(worst, ++c);
+    }
+  }
+  return worst;
+}
+
+}  // namespace lgsim::fabric

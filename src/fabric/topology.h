@@ -1,0 +1,98 @@
+// Facebook-fabric datacenter topology model (Fig. 4, §4.8).
+//
+// Each pod has 48 top-of-rack switches fully meshed to 4 fabric switches;
+// fabric switch i of every pod connects to all 48 spine switches of spine
+// plane i. With 1:1 oversubscription each pod contributes 192 ToR-fabric
+// links and 192 fabric-spine links; ~260 pods give the paper's ~100K optical
+// switch-to-switch links.
+//
+// The capacity metrics follow Zhuo et al. [CorrOpt, SIGCOMM'17]:
+//  - paths per ToR: number of valley-free ToR->spine paths,
+//    sum over fabric f of up(tor,f) * up_spine_links(f);  max 4*48 = 192.
+//  - least paths per ToR: the worst ToR's fraction of its maximum.
+//  - least capacity per pod: the worst pod's usable ToR->spine capacity as a
+//    fraction of nominal, where a LinkGuardian-protected link contributes
+//    its reduced effective speed (Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lgsim::fabric {
+
+enum class LinkLayer : std::uint8_t { kTorFabric, kFabricSpine };
+
+struct Link {
+  LinkLayer layer = LinkLayer::kTorFabric;
+  std::int32_t pod = 0;
+  std::int32_t tor = -1;     // ToR index within pod (kTorFabric only)
+  std::int32_t fabric = 0;   // fabric switch index within pod (= spine plane)
+  std::int32_t spine = -1;   // spine switch index within plane (kFabricSpine)
+
+  bool up = true;            // administratively enabled
+  bool corrupting = false;
+  double loss_rate = 0.0;    // raw corruption loss rate when corrupting
+  bool lg_enabled = false;
+  /// Relative link speed when LinkGuardian is active (1.0 otherwise).
+  double effective_speed = 1.0;
+};
+
+struct TopologyConfig {
+  std::int32_t pods = 4;
+  std::int32_t tors_per_pod = 48;
+  std::int32_t fabrics_per_pod = 4;
+  std::int32_t spines_per_plane = 48;
+};
+
+class FabricTopology {
+ public:
+  explicit FabricTopology(const TopologyConfig& cfg);
+
+  std::int64_t n_links() const { return static_cast<std::int64_t>(links_.size()); }
+  const Link& link(std::int64_t id) const { return links_[id]; }
+  Link& link(std::int64_t id) { return links_[id]; }
+  const TopologyConfig& config() const { return cfg_; }
+
+  std::int64_t tor_fabric_link(std::int32_t pod, std::int32_t tor,
+                               std::int32_t fabric) const;
+  std::int64_t fabric_spine_link(std::int32_t pod, std::int32_t fabric,
+                                 std::int32_t spine) const;
+
+  /// Number of up fabric-spine links of (pod, fabric).
+  std::int32_t up_spine_links(std::int32_t pod, std::int32_t fabric) const;
+  /// Valley-free ToR->spine path count for one ToR.
+  std::int64_t paths_per_tor(std::int32_t pod, std::int32_t tor) const;
+  std::int64_t max_paths_per_tor() const {
+    return static_cast<std::int64_t>(cfg_.fabrics_per_pod) * cfg_.spines_per_plane;
+  }
+
+  /// Worst-case ToR path fraction across the network ("least paths per ToR").
+  double least_paths_per_tor_frac() const;
+
+  /// Simulates disabling `link_id` and reports whether every affected ToR
+  /// keeps at least `constraint` of its maximum paths (CorrOpt fast checker
+  /// predicate).
+  bool can_disable(std::int64_t link_id, double constraint) const;
+
+  /// Usable ToR->spine capacity fraction of the worst pod, counting each up
+  /// link at its effective speed ("least capacity per pod").
+  double least_capacity_per_pod_frac() const;
+
+  /// Sum of loss rates over corrupting, still-enabled links, where
+  /// LinkGuardian-protected links contribute their effective (residual)
+  /// loss rate ("total penalty").
+  double total_penalty(double lg_target_loss) const;
+
+  /// Highest number of LinkGuardian-enabled links on any single switch
+  /// (pipe) — the deployment-feasibility number discussed in §5.
+  std::int32_t max_lg_links_per_switch() const;
+
+ private:
+  TopologyConfig cfg_;
+  std::vector<Link> links_;
+  std::int64_t tor_fabric_base_ = 0;
+  std::int64_t fabric_spine_base_ = 0;
+};
+
+}  // namespace lgsim::fabric

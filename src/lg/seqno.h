@@ -1,0 +1,60 @@
+// Era-corrected 16-bit sequence-number arithmetic (§3.5 "Handling seqNo
+// wrap-around").
+//
+// LinkGuardian's data header carries a 16-bit seqNo plus a 1-bit "era" that
+// toggles every time the sequence number wraps. Two sequence numbers from
+// different eras are compared after subtracting N/2 (N = 65536) from both,
+// which is correct as long as they are no more than N/2 apart — a property
+// the protocol maintains because the Tx window is tiny compared to N.
+#pragma once
+
+#include <cstdint>
+
+namespace lgsim::lg {
+
+constexpr std::uint32_t kSeqSpace = 65536;  // N
+constexpr std::uint16_t kSeqHalf = 32768;   // N/2
+
+struct SeqEra {
+  std::uint16_t seq = 0;
+  std::uint8_t era = 0;
+
+  friend bool operator==(SeqEra a, SeqEra b) {
+    return a.seq == b.seq && a.era == b.era;
+  }
+};
+
+/// Next sequence number; toggles the era on wrap-around.
+constexpr SeqEra seq_next(SeqEra s) {
+  if (s.seq == 0xFFFF) return {0, static_cast<std::uint8_t>(s.era ^ 1)};
+  return {static_cast<std::uint16_t>(s.seq + 1), s.era};
+}
+
+/// Signed distance a - b in era-corrected space. Valid when the true distance
+/// is within (-N/2, N/2). Implements the paper's era-correction rule: same
+/// era -> plain subtraction; different eras -> subtract N/2 from both
+/// (mod N) before subtracting.
+constexpr std::int32_t seq_distance(SeqEra a, SeqEra b) {
+  if (a.era == b.era) {
+    return static_cast<std::int32_t>(a.seq) - static_cast<std::int32_t>(b.seq);
+  }
+  const std::uint16_t a2 = static_cast<std::uint16_t>(a.seq - kSeqHalf);
+  const std::uint16_t b2 = static_cast<std::uint16_t>(b.seq - kSeqHalf);
+  return static_cast<std::int32_t>(a2) - static_cast<std::int32_t>(b2);
+}
+
+constexpr bool seq_less(SeqEra a, SeqEra b) { return seq_distance(a, b) < 0; }
+constexpr bool seq_leq(SeqEra a, SeqEra b) { return seq_distance(a, b) <= 0; }
+constexpr bool seq_greater(SeqEra a, SeqEra b) { return seq_distance(a, b) > 0; }
+
+/// Advance s by n (n < N/2).
+constexpr SeqEra seq_add(SeqEra s, std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) s = seq_next(s);
+  return s;
+}
+
+/// The state both endpoints start from: "nothing received yet", whose
+/// successor is seq 0 of era 0.
+constexpr SeqEra seq_before_first() { return {0xFFFF, 1}; }
+
+}  // namespace lgsim::lg

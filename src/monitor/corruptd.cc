@@ -1,0 +1,81 @@
+#include "monitor/corruptd.h"
+#include "monitor/fallback.h"
+
+namespace lgsim::monitor {
+
+Corruptd::Corruptd(Simulator& sim, const CorruptdConfig& cfg, PubSubBus& bus)
+    : sim_(sim), cfg_(cfg), bus_(bus) {}
+
+void Corruptd::add_port(PortCounterFn port) {
+  ports_.push_back(std::move(port));
+  windows_.emplace_back();
+  // Seed the baseline so the first poll delta is meaningful.
+  windows_.back().last_ok = ports_.back().frames_rx_ok();
+  windows_.back().last_all = ports_.back().frames_rx_all();
+}
+
+void Corruptd::start() {
+  task_ = std::make_unique<PeriodicTask>(sim_, cfg_.poll_period,
+                                         [this](SimTime now) { poll(now); });
+  task_->start(cfg_.poll_period);
+}
+
+void Corruptd::stop() {
+  if (task_) task_->stop();
+}
+
+void Corruptd::poll(SimTime now) {
+  ++polls_;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    Window& w = windows_[i];
+    const std::int64_t ok = ports_[i].frames_rx_ok();
+    const std::int64_t all = ports_[i].frames_rx_all();
+    const Window::Sample d{ok - w.last_ok, all - w.last_all};
+    w.last_ok = ok;
+    w.last_all = all;
+    if (d.all > 0) {  // idle polls carry no information; don't accumulate them
+      w.deltas.push_back(d);
+      w.win_ok += d.ok;
+      w.win_all += d.all;
+    }
+    // Trim the moving window to the configured frame budget.
+    while (w.win_all > cfg_.window_frames && w.deltas.size() > 1) {
+      w.win_ok -= w.deltas.front().ok;
+      w.win_all -= w.deltas.front().all;
+      w.deltas.pop_front();
+    }
+    if (w.win_all <= 0) continue;
+    const double loss = 1.0 - static_cast<double>(w.win_ok) /
+                                  static_cast<double>(w.win_all);
+    if (loss >= cfg_.threshold && !w.notified) {
+      w.notified = true;
+      bus_.publish({ports_[i].link_topic, loss, now});
+    }
+  }
+}
+
+double Corruptd::loss_rate(const std::string& topic) const {
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].link_topic == topic) {
+      const Window& w = windows_[i];
+      if (w.win_all <= 0) return 0.0;
+      return 1.0 - static_cast<double>(w.win_ok) / static_cast<double>(w.win_all);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace lgsim::monitor
+
+namespace lgsim::monitor {
+
+const char* lg_mode_name(LgMode m) {
+  switch (m) {
+    case LgMode::kOrdered: return "LinkGuardian";
+    case LgMode::kNonBlocking: return "LinkGuardianNB";
+    case LgMode::kOff: return "off";
+  }
+  return "?";
+}
+
+}  // namespace lgsim::monitor

@@ -1,0 +1,146 @@
+// corruptd: the control-plane corruption-monitoring daemon (Appendix C).
+//
+// One daemon instance runs per switch. It periodically polls the driver for
+// per-port RX frame counters (framesRxOk / framesRxAll), computes the loss
+// rate over a moving window of frames, and — when a link's loss rate crosses
+// the detection threshold — publishes a notification on a Redis-style
+// pub-sub bus. The daemon on the *upstream* switch subscribes to topics for
+// its own egress links and activates LinkGuardian with the retransmission
+// copy count from Eq. 2.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lg/config.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace lgsim::monitor {
+
+/// In-process stand-in for the Redis pub-sub channel the daemons share.
+class PubSubBus {
+ public:
+  struct Notification {
+    std::string topic;
+    double loss_rate = 0.0;
+    SimTime at = 0;
+  };
+
+  using Handler = std::function<void(const Notification&)>;
+
+  void subscribe(const std::string& topic, Handler h) {
+    subs_[topic].push_back(std::move(h));
+  }
+
+  void publish(const Notification& n) {
+    history_.push_back(n);
+    auto it = subs_.find(n.topic);
+    if (it == subs_.end()) return;
+    for (auto& h : it->second) h(n);
+  }
+
+  const std::vector<Notification>& history() const { return history_; }
+
+ private:
+  std::map<std::string, std::vector<Handler>> subs_;
+  std::vector<Notification> history_;
+};
+
+struct CorruptdConfig {
+  /// Counter polling period (1 s in the paper).
+  SimTime poll_period = sec(1);
+  /// Moving window length in frames (100M frames in the paper). Loss rate is
+  /// computed over the most recent window of polls covering this many frames.
+  std::int64_t window_frames = 100'000'000;
+  /// Detection threshold: activate once L >= 1e-8 (a healthy link's BER).
+  double threshold = 1e-8;
+};
+
+/// Counter source the daemon polls (the switch driver in production; the
+/// port model's counters here).
+struct PortCounterFn {
+  std::string link_topic;  // pub-sub topic identifying the upstream link
+  std::function<std::int64_t()> frames_rx_ok;
+  std::function<std::int64_t()> frames_rx_all;
+};
+
+class Corruptd {
+ public:
+  Corruptd(Simulator& sim, const CorruptdConfig& cfg, PubSubBus& bus);
+
+  /// Register a monitored ingress port.
+  void add_port(PortCounterFn port);
+
+  void start();
+  void stop();
+
+  /// Poll counters once (also driven periodically by start()).
+  void poll(SimTime now);
+
+  /// Current estimated loss rate for a monitored link (by topic).
+  double loss_rate(const std::string& topic) const;
+  std::int64_t polls() const { return polls_; }
+
+ private:
+  struct Window {
+    struct Sample {
+      std::int64_t ok;
+      std::int64_t all;
+    };
+    std::deque<Sample> deltas;  // per-poll deltas
+    std::int64_t last_ok = 0;
+    std::int64_t last_all = 0;
+    std::int64_t win_ok = 0;
+    std::int64_t win_all = 0;
+    bool notified = false;
+  };
+
+  Simulator& sim_;
+  CorruptdConfig cfg_;
+  PubSubBus& bus_;
+  std::vector<PortCounterFn> ports_;
+  std::vector<Window> windows_;
+  std::unique_ptr<PeriodicTask> task_;
+  std::int64_t polls_ = 0;
+};
+
+/// Wires a Corruptd notification to LinkGuardian activation: on first
+/// notification for the topic, enables LG on the provided link with the
+/// retransmission copy count from Eq. 2 (returned for inspection).
+struct ActivationRecord {
+  std::string topic;
+  double measured_loss = 0.0;
+  int retx_copies = 0;
+  SimTime at = 0;
+};
+
+class LgActivator {
+ public:
+  LgActivator(PubSubBus& bus, double target_loss_rate)
+      : bus_(bus), target_(target_loss_rate) {}
+
+  /// Subscribe to `topic`; on notification run `activate(copies)`.
+  void watch(const std::string& topic, std::function<void(int)> activate) {
+    bus_.subscribe(topic, [this, activate = std::move(activate),
+                           topic](const PubSubBus::Notification& n) {
+      const int copies = lg::retx_copies(n.loss_rate, target_);
+      records_.push_back({topic, n.loss_rate, copies, n.at});
+      activate(copies);
+    });
+  }
+
+  const std::vector<ActivationRecord>& records() const { return records_; }
+
+ private:
+  PubSubBus& bus_;
+  double target_;
+  std::vector<ActivationRecord> records_;
+};
+
+}  // namespace lgsim::monitor

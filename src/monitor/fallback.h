@@ -1,0 +1,108 @@
+// Automatic fallback (§5 "Automatic fallback"): LinkGuardian is designed for
+// the low loss rates of Table 1; if a link suddenly degrades to a high loss
+// rate, ordered LinkGuardian's pauses can hurt more than they help. This
+// control-plane extension watches the measured loss rate and steps the
+// protection mode down — ordered -> non-blocking -> off — at configurable
+// thresholds (and back up when the link improves, with hysteresis).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace lgsim::monitor {
+
+enum class LgMode : std::uint8_t { kOrdered, kNonBlocking, kOff };
+
+const char* lg_mode_name(LgMode m);
+
+struct FallbackConfig {
+  /// Above this measured loss rate, drop from ordered to LinkGuardianNB.
+  double nb_threshold = 5e-3;
+  /// Above this, disable LinkGuardian entirely (the link is beyond help;
+  /// the operator escalates to CorrOpt / repair).
+  double off_threshold = 5e-2;
+  /// Hysteresis factor when stepping back up (avoid mode flapping).
+  double recover_factor = 0.5;
+  /// Re-evaluation period.
+  SimTime period = sec(1);
+};
+
+struct ModeChange {
+  SimTime at;
+  LgMode from;
+  LgMode to;
+  double measured_loss;
+};
+
+class AutoFallback {
+ public:
+  using LossFn = std::function<double()>;        // current measured loss
+  using ApplyFn = std::function<void(LgMode)>;   // reconfigure the dataplane
+
+  AutoFallback(Simulator& sim, const FallbackConfig& cfg, LossFn loss,
+               ApplyFn apply)
+      : sim_(sim), cfg_(cfg), loss_(std::move(loss)), apply_(std::move(apply)) {}
+
+  void start(LgMode initial = LgMode::kOrdered) {
+    mode_ = initial;
+    task_ = std::make_unique<PeriodicTask>(sim_, cfg_.period,
+                                           [this](SimTime t) { evaluate(t); });
+    task_->start(cfg_.period);
+  }
+
+  void stop() {
+    if (task_) task_->stop();
+  }
+
+  /// One evaluation step (also driven periodically by start()).
+  void evaluate(SimTime now) {
+    const double l = loss_();
+    const LgMode next = pick_mode(l);
+    if (next != mode_) {
+      changes_.push_back({now, mode_, next, l});
+      mode_ = next;
+      apply_(next);
+    }
+  }
+
+  LgMode mode() const { return mode_; }
+  const std::vector<ModeChange>& changes() const { return changes_; }
+
+ private:
+  LgMode pick_mode(double loss) const {
+    // Step down on threshold crossings; step back up only once the loss is
+    // comfortably (recover_factor) below the threshold that demoted us.
+    switch (mode_) {
+      case LgMode::kOrdered:
+        if (loss >= cfg_.off_threshold) return LgMode::kOff;
+        if (loss >= cfg_.nb_threshold) return LgMode::kNonBlocking;
+        return LgMode::kOrdered;
+      case LgMode::kNonBlocking:
+        if (loss >= cfg_.off_threshold) return LgMode::kOff;
+        if (loss < cfg_.nb_threshold * cfg_.recover_factor)
+          return LgMode::kOrdered;
+        return LgMode::kNonBlocking;
+      case LgMode::kOff:
+        if (loss < cfg_.off_threshold * cfg_.recover_factor)
+          return LgMode::kNonBlocking;
+        return LgMode::kOff;
+    }
+    return mode_;
+  }
+
+  Simulator& sim_;
+  FallbackConfig cfg_;
+  LossFn loss_;
+  ApplyFn apply_;
+  LgMode mode_ = LgMode::kOrdered;
+  std::vector<ModeChange> changes_;
+  std::unique_ptr<PeriodicTask> task_;
+};
+
+}  // namespace lgsim::monitor

@@ -1,0 +1,46 @@
+// Fixed-latency elements modelling switch pipeline traversal.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace lgsim::net {
+
+/// A fixed processing delay in front of a handler: models the ingress+egress
+/// pipeline latency of a store-and-forward switch ASIC. Packets entered here
+/// pop out `latency` ns later, in order.
+class PipelineDelay {
+ public:
+  using Handler = std::function<void(Packet&&)>;
+
+  PipelineDelay(Simulator& sim, SimTime latency, Handler next)
+      : sim_(sim), latency_(latency), next_(std::move(next)) {}
+
+  void accept(Packet&& p) {
+    sim_.schedule_in(latency_, [this, p = std::move(p)]() mutable {
+      next_(std::move(p));
+    });
+  }
+
+  SimTime latency() const { return latency_; }
+
+ private:
+  Simulator& sim_;
+  SimTime latency_;
+  Handler next_;
+};
+
+/// Ingress frame counters (what corruptd polls: framesRxOk / framesRxAll).
+/// `framesRxAll` counts every frame the MAC saw including corrupted ones; the
+/// port model drops corrupted frames before delivery, so the owner of this
+/// struct feeds it from the link's counters.
+struct MacRxCounters {
+  std::int64_t frames_rx_ok = 0;
+  std::int64_t frames_rx_all = 0;
+};
+
+}  // namespace lgsim::net

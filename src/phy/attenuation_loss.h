@@ -1,0 +1,50 @@
+// Bridge between the optical PHY model and the packet-level loss process:
+// the probability that a frame is dropped depends on its *size* (more bits,
+// more chances for an uncorrectable error), computed from the transceiver's
+// BER at the configured attenuation. This is exactly what the testbed's VOA
+// does — and why the paper measures loss with fixed MTU-sized frames.
+#pragma once
+
+#include <cmath>
+#include <unordered_map>
+
+#include "net/loss_model.h"
+#include "phy/optical.h"
+
+namespace lgsim::phy {
+
+class AttenuationLoss final : public net::LossModel {
+ public:
+  AttenuationLoss(Transceiver xcvr, double attenuation_db, Rng rng)
+      : xcvr_(std::move(xcvr)), attenuation_db_(attenuation_db), rng_(rng) {}
+
+  bool lose(SimTime, const net::Packet& p) override {
+    return rng_.bernoulli(loss_for_size(p.frame_bytes));
+  }
+
+  /// Frame-loss probability for a given frame size (memoized: the simulation
+  /// sees only a handful of distinct sizes).
+  double loss_for_size(std::int32_t frame_bytes) {
+    auto it = cache_.find(frame_bytes);
+    if (it != cache_.end()) return it->second;
+    const double p = xcvr_.frame_loss_rate(attenuation_db_, frame_bytes);
+    cache_.emplace(frame_bytes, p);
+    return p;
+  }
+
+  /// Re-aim the VOA (e.g. the fiber degrades further mid-run).
+  void set_attenuation(double db) {
+    attenuation_db_ = db;
+    cache_.clear();
+  }
+  double attenuation() const { return attenuation_db_; }
+  const Transceiver& transceiver() const { return xcvr_; }
+
+ private:
+  Transceiver xcvr_;
+  double attenuation_db_;
+  Rng rng_;
+  std::unordered_map<std::int32_t, double> cache_;
+};
+
+}  // namespace lgsim::phy

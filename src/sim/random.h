@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement xoshiro256++ directly rather than relying on std::mt19937 so
+// that (a) results are reproducible across standard libraries, and (b) the
+// generator is cheap enough to sit on the per-packet fast path of the loss
+// models.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace lgsim {
+
+/// xoshiro256++ with SplitMix64 seeding. Not cryptographic; plenty for
+/// simulation (passes BigCrush per its authors).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_int(std::uint64_t n) {
+    // Lemire's nearly-divisionless bounded generation.
+    const __uint128_t m = static_cast<__uint128_t>(next_u64()) * n;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform() < p;
+  }
+
+  /// Exponential with the given mean (= 1/lambda).
+  double exponential(double mean) {
+    double u = uniform();
+    // uniform() can return exactly 0; log(0) is -inf, so nudge it.
+    if (u <= 0.0) u = 0x1.0p-53;
+    return -mean * std::log(u);
+  }
+
+  /// Weibull(shape, scale) via inverse transform. shape==1 degenerates to
+  /// exponential(scale) — the model used for link failures in Appendix D.
+  double weibull(double shape, double scale) {
+    double u = uniform();
+    if (u <= 0.0) u = 0x1.0p-53;
+    return scale * std::pow(-std::log(u), 1.0 / shape);
+  }
+
+  /// Derive an independent child generator (for per-link / per-flow streams).
+  Rng split() { return Rng(next_u64() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace lgsim

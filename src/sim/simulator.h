@@ -1,0 +1,163 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded event loop over a binary heap keyed by (time, sequence).
+// The sequence number makes scheduling stable: events scheduled earlier at the
+// same timestamp run first, which the protocol logic relies on (e.g. a loss
+// notification enqueued before an ACK at the same instant is delivered first).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/units.h"
+
+namespace lgsim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancellation. Zero is "no event".
+  using EventId = std::uint64_t;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback cb) {
+    const EventId id = next_id_++;
+    heap_.push(Event{t, id, std::move(cb)});
+    ++pending_;
+    return id;
+  }
+
+  /// Schedule `cb` to run `delay` ns from now.
+  EventId schedule_in(SimTime delay, Callback cb) {
+    return schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Cancel a previously scheduled event. Safe to call with an id that has
+  /// already fired or been cancelled (no-op). O(1): lazy deletion.
+  void cancel(EventId id) {
+    if (id != 0) cancelled_.push_back(id);
+  }
+
+  /// Run until the event queue is empty or `until` is reached (inclusive of
+  /// events at exactly `until`). Returns number of events executed.
+  std::uint64_t run(SimTime until = INT64_MAX) {
+    std::uint64_t executed = 0;
+    while (!heap_.empty()) {
+      if (heap_.top().time > until) break;
+      Event ev = pop_top();
+      if (is_cancelled(ev.id)) continue;
+      now_ = ev.time;
+      ev.cb();
+      ++executed;
+      ++total_executed_;
+    }
+    // When asked to run "until T", the clock reflects that T was reached even
+    // if events remain scheduled beyond it.
+    if (now_ < until && until != INT64_MAX) now_ = until;
+    return executed;
+  }
+
+  /// Execute exactly one event if available. Returns false when idle.
+  bool step() {
+    while (!heap_.empty()) {
+      Event ev = pop_top();
+      if (is_cancelled(ev.id)) continue;
+      now_ = ev.time;
+      ev.cb();
+      ++total_executed_;
+      return true;
+    }
+    return false;
+  }
+
+  bool idle() const { return pending_ == 0; }
+  std::uint64_t total_executed() const { return total_executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    EventId id;
+    Callback cb;
+  };
+
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  Event pop_top() {
+    // priority_queue::top() is const; move out via const_cast on the known
+    // mutable container (standard pattern; the element is removed right after).
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    --pending_;
+    return ev;
+  }
+
+  bool is_cancelled(EventId id) {
+    for (std::size_t i = 0; i < cancelled_.size(); ++i) {
+      if (cancelled_[i] == id) {
+        cancelled_[i] = cancelled_.back();
+        cancelled_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t pending_ = 0;
+  std::uint64_t total_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::vector<EventId> cancelled_;
+};
+
+/// Re-arming periodic task (used for timer packets, counter polling, meters).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator& sim, SimTime period, std::function<void(SimTime)> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+
+  void start(SimTime first_delay = 0) {
+    stopped_ = false;
+    arm(first_delay);
+  }
+
+  void stop() {
+    stopped_ = true;
+    sim_.cancel(pending_);
+    pending_ = 0;
+  }
+
+  bool running() const { return !stopped_; }
+
+ private:
+  void arm(SimTime delay) {
+    pending_ = sim_.schedule_in(delay, [this] {
+      if (stopped_) return;
+      fn_(sim_.now());
+      if (!stopped_) arm(period_);
+    });
+  }
+
+  Simulator& sim_;
+  SimTime period_;
+  std::function<void(SimTime)> fn_;
+  Simulator::EventId pending_ = 0;
+  bool stopped_ = true;
+};
+
+}  // namespace lgsim

@@ -1,0 +1,139 @@
+// Statistics accumulators used by tests and benchmark harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lgsim {
+
+/// Streaming accumulator for count / mean / min / max / stddev (Welford).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+  void reset() { *this = RunningStats{}; }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores every sample; answers arbitrary percentile queries.
+///
+/// Percentiles use the nearest-rank definition on the sorted samples, which is
+/// what the paper's gnuplot CDFs effectively report.
+class PercentileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+
+  std::int64_t count() const { return static_cast<std::int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+
+  /// p in [0, 100]. p=50 is the median; p=100 the maximum.
+  double percentile(double p) const {
+    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    if (p <= 0.0) return samples_.front();
+    if (p >= 100.0) return samples_.back();
+    const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const double frac = rank - static_cast<double>(lo);
+    if (lo + 1 >= samples_.size()) return samples_.back();
+    return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+  }
+
+  double min() const { ensure_sorted(); return samples_.empty() ? 0.0 : samples_.front(); }
+  double max() const { ensure_sorted(); return samples_.empty() ? 0.0 : samples_.back(); }
+
+  double mean() const {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  /// Fraction of samples <= x (empirical CDF).
+  double cdf_at(double x) const {
+    ensure_sorted();
+    if (samples_.empty()) return 0.0;
+    const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+    return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+  }
+
+  const std::vector<double>& sorted_samples() const {
+    ensure_sorted();
+    return samples_;
+  }
+
+  void reset() { samples_.clear(); sorted_ = true; }
+
+ private:
+  void ensure_sorted() const {
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+  }
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Integer-valued histogram (e.g. "consecutive packets lost" in Fig. 20).
+class CountHistogram {
+ public:
+  void add(std::int64_t value, std::int64_t weight = 1) {
+    if (value < 0) value = 0;
+    if (static_cast<std::size_t>(value) >= bins_.size()) bins_.resize(value + 1, 0);
+    bins_[value] += weight;
+    total_ += weight;
+  }
+
+  std::int64_t total() const { return total_; }
+  std::int64_t max_value() const { return static_cast<std::int64_t>(bins_.size()) - 1; }
+
+  std::int64_t count_at(std::int64_t value) const {
+    if (value < 0 || static_cast<std::size_t>(value) >= bins_.size()) return 0;
+    return bins_[value];
+  }
+
+  /// Cumulative fraction of mass at values <= v.
+  double cdf_at(std::int64_t v) const {
+    if (total_ == 0) return 0.0;
+    std::int64_t c = 0;
+    for (std::int64_t i = 0; i <= v && static_cast<std::size_t>(i) < bins_.size(); ++i)
+      c += bins_[i];
+    return static_cast<double>(c) / static_cast<double>(total_);
+  }
+
+  void reset() { bins_.clear(); total_ = 0; }
+
+ private:
+  std::vector<std::int64_t> bins_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace lgsim

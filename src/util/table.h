@@ -1,0 +1,63 @@
+// Minimal fixed-width table printer for the benchmark harnesses, so every
+// bench binary emits paper-style rows with aligned columns.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace lgsim {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    widths_.reserve(headers_.size());
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void add_row(std::vector<std::string> cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i)
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    print_row(os, headers_);
+    std::string sep;
+    for (std::size_t i = 0; i < widths_.size(); ++i) {
+      sep += std::string(widths_[i] + 2, '-');
+      if (i + 1 < widths_.size()) sep += "+";
+    }
+    os << sep << "\n";
+    for (const auto& r : rows_) print_row(os, r);
+  }
+
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+  static std::string sci(double v, int precision = 2) {
+    std::ostringstream ss;
+    ss << std::scientific << std::setprecision(precision) << v;
+    return ss.str();
+  }
+
+ private:
+  void print_row(std::ostream& os, const std::vector<std::string>& cells) const {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << " " << std::setw(static_cast<int>(widths_[i])) << std::left << cells[i] << " ";
+      if (i + 1 < cells.size()) os << "|";
+    }
+    os << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace lgsim

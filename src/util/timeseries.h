@@ -1,0 +1,87 @@
+// Time-series recorder for timeline experiments (Figs. 9 and 21).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/units.h"
+
+namespace lgsim {
+
+/// Records (time, value) samples; used by throughput/queue-depth timelines.
+class TimeSeries {
+ public:
+  struct Sample {
+    SimTime time = 0;
+    double value = 0.0;
+  };
+
+  void record(SimTime t, double v) { samples_.push_back({t, v}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Mean of values recorded in [from, to).
+  double mean_in(SimTime from, SimTime to) const {
+    double s = 0.0;
+    std::int64_t n = 0;
+    for (const auto& x : samples_) {
+      if (x.time >= from && x.time < to) {
+        s += x.value;
+        ++n;
+      }
+    }
+    return n > 0 ? s / static_cast<double>(n) : 0.0;
+  }
+
+  double max_in(SimTime from, SimTime to) const {
+    double m = 0.0;
+    for (const auto& x : samples_)
+      if (x.time >= from && x.time < to && x.value > m) m = x.value;
+    return m;
+  }
+
+  void reset() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// Turns a monotone byte counter into a rate time-series by windowed sampling.
+class RateMeter {
+ public:
+  explicit RateMeter(SimTime window) : window_(window) {}
+
+  /// Accumulate `bytes` delivered at time `now`; emits one sample per window.
+  void on_bytes(SimTime now, std::int64_t bytes) {
+    if (window_start_ < 0) window_start_ = now;
+    while (now >= window_start_ + window_) {
+      flush_window();
+    }
+    bytes_in_window_ += bytes;
+  }
+
+  /// Close out any partial window (call at end of experiment).
+  void finish(SimTime now) {
+    if (window_start_ >= 0 && now > window_start_) flush_window();
+  }
+
+  const TimeSeries& series() const { return series_; }
+
+ private:
+  void flush_window() {
+    const double gbit_per_s =
+        static_cast<double>(bytes_in_window_) * 8.0 / static_cast<double>(window_);
+    series_.record(window_start_ + window_, gbit_per_s);  // Gbps since ns cancels
+    window_start_ += window_;
+    bytes_in_window_ = 0;
+  }
+
+  SimTime window_;
+  SimTime window_start_ = -1;
+  std::int64_t bytes_in_window_ = 0;
+  TimeSeries series_;
+};
+
+}  // namespace lgsim

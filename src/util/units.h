@@ -1,0 +1,59 @@
+// Fundamental unit helpers shared across the simulator.
+//
+// All simulation time is an integer count of nanoseconds (`SimTime`); all link
+// rates are bits per second (`BitRate`). Keeping these as plain integers keeps
+// the event loop allocation-free and fast while the constexpr helpers below
+// keep call sites readable (`usec(30)`, `gbps(100)`).
+#pragma once
+
+#include <cstdint>
+
+namespace lgsim {
+
+/// Simulation timestamp / duration in nanoseconds.
+using SimTime = std::int64_t;
+
+/// Link rate in bits per second.
+using BitRate = std::int64_t;
+
+constexpr SimTime kNsecPerUsec = 1'000;
+constexpr SimTime kNsecPerMsec = 1'000'000;
+constexpr SimTime kNsecPerSec = 1'000'000'000;
+
+constexpr SimTime nsec(std::int64_t n) { return n; }
+constexpr SimTime usec(std::int64_t n) { return n * kNsecPerUsec; }
+constexpr SimTime msec(std::int64_t n) { return n * kNsecPerMsec; }
+constexpr SimTime sec(std::int64_t n) { return n * kNsecPerSec; }
+
+constexpr double to_usec(SimTime t) { return static_cast<double>(t) / kNsecPerUsec; }
+constexpr double to_msec(SimTime t) { return static_cast<double>(t) / kNsecPerMsec; }
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / kNsecPerSec; }
+
+constexpr BitRate kbps(std::int64_t n) { return n * 1'000; }
+constexpr BitRate mbps(std::int64_t n) { return n * 1'000'000; }
+constexpr BitRate gbps(std::int64_t n) { return n * 1'000'000'000; }
+
+/// Time to serialize `bytes` onto a link of rate `rate` (rounded up to whole ns).
+constexpr SimTime serialization_time(std::int64_t bytes, BitRate rate) {
+  // bytes * 8 bits / (rate bits/s) in ns = bytes * 8e9 / rate.
+  return (bytes * 8 * kNsecPerSec + rate - 1) / rate;
+}
+
+/// Bytes that drain from a queue at `rate` during `dur` nanoseconds.
+constexpr std::int64_t bytes_in_time(SimTime dur, BitRate rate) {
+  return dur * rate / (8 * kNsecPerSec);
+}
+
+// Ethernet framing constants. An MTU-sized frame occupies 1538 octets on the
+// wire: 1500 payload + 14 Ethernet header + 4 FCS + 8 preamble + 12 IFG.
+constexpr std::int64_t kEthernetMtu = 1500;
+constexpr std::int64_t kEthernetHeader = 14;
+constexpr std::int64_t kEthernetFcs = 4;
+constexpr std::int64_t kEthernetPreamble = 8;
+constexpr std::int64_t kEthernetIfg = 12;
+constexpr std::int64_t kEthernetOverheadOnWire =
+    kEthernetHeader + kEthernetFcs + kEthernetPreamble + kEthernetIfg;
+constexpr std::int64_t kMtuFrameOnWire = kEthernetMtu + kEthernetOverheadOnWire;  // 1538
+constexpr std::int64_t kMinFrameSize = 64;  // minimum Ethernet frame (w/o preamble+IFG)
+
+}  // namespace lgsim

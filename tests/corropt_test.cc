@@ -1,0 +1,130 @@
+// Tests for the CorrOpt trace generator and deployment simulation (§4.8).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "corropt/corropt.h"
+
+namespace lgsim::corropt {
+namespace {
+
+TEST(Table1, BucketsSumToOne) {
+  double sum = 0.0;
+  for (const auto& b : table1_buckets()) sum += b.fraction;
+  // The paper's Table 1 percentages sum to 99.99% (rounding).
+  EXPECT_NEAR(sum, 1.0, 2e-4);
+}
+
+TEST(Table1, SamplerMatchesBucketFractions) {
+  Rng rng(13);
+  const int n = 200'000;
+  int bucket_counts[4] = {};
+  for (int i = 0; i < n; ++i) {
+    const double r = sample_loss_rate(rng);
+    if (r < 1e-5) ++bucket_counts[0];
+    else if (r < 1e-4) ++bucket_counts[1];
+    else if (r < 1e-3) ++bucket_counts[2];
+    else ++bucket_counts[3];
+  }
+  const auto& buckets = table1_buckets();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(bucket_counts[i]) / n, buckets[i].fraction,
+                0.01)
+        << "bucket " << i;
+  }
+}
+
+TEST(TraceGen, EventRateMatchesMttf) {
+  Rng rng(17);
+  const std::int64_t links = 10'000;
+  const double horizon = 8'766;  // one year in hours
+  const auto trace = generate_trace(links, horizon, 10'000, rng);
+  // Expected events ~ links * horizon / MTTF (renewal process).
+  const double expected = links * horizon / 10'000;
+  EXPECT_NEAR(static_cast<double>(trace.size()), expected, expected * 0.1);
+  // Sorted by time and within the horizon.
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].time_hours, trace[i].time_hours);
+  }
+  EXPECT_GE(trace.front().time_hours, 0.0);
+  EXPECT_LE(trace.back().time_hours, horizon);
+}
+
+TEST(LgEffectiveSpeed, MatchesFig8Shape) {
+  EXPECT_GT(lg_effective_speed(1e-5), 0.99);
+  EXPECT_NEAR(lg_effective_speed(1e-3), 0.92, 0.01);
+  EXPECT_GT(lg_effective_speed(1e-5), lg_effective_speed(1e-3));
+}
+
+DeploymentConfig small_cfg(bool lg) {
+  DeploymentConfig c;
+  c.topo = {.pods = 4, .tors_per_pod = 48, .fabrics_per_pod = 4,
+            .spines_per_plane = 48};
+  c.duration_hours = 24 * 60;  // two months
+  c.mttf_hours = 1'000;        // accelerated failures for test coverage
+  c.capacity_constraint = 0.75;
+  c.use_linkguardian = lg;
+  c.sample_period_hours = 2.0;
+  c.seed = 99;
+  return c;
+}
+
+TEST(Deployment, VanillaCorrOptLeavesResidualPenaltyUnderConstraint) {
+  const auto res = run_deployment(small_cfg(false));
+  EXPECT_GT(res.corruption_events, 100);
+  EXPECT_GT(res.disabled_immediately, 0);
+  ASSERT_FALSE(res.samples.empty());
+  // The capacity constraint is honoured throughout.
+  for (const auto& s : res.samples) {
+    EXPECT_GE(s.least_paths_frac, 0.75 - 1e-9);
+  }
+}
+
+TEST(Deployment, LinkGuardianReducesPenaltyByOrders) {
+  const auto vanilla = run_deployment(small_cfg(false));
+  const auto with_lg = run_deployment(small_cfg(true));
+  // Compare mean total penalty across samples (same trace seed).
+  auto mean_penalty = [](const DeploymentResult& r) {
+    double s = 0.0;
+    for (const auto& x : r.samples) s += x.total_penalty;
+    return s / static_cast<double>(r.samples.size());
+  };
+  const double pv = mean_penalty(vanilla);
+  const double pl = mean_penalty(with_lg);
+  EXPECT_GT(pv, 0.0);
+  // Whenever links cannot be disabled, LG cuts their contribution by ~4+
+  // orders of magnitude; the mean must drop by at least 100x.
+  EXPECT_LT(pl, pv / 100.0);
+}
+
+TEST(Deployment, LgCapacityCostIsSmall) {
+  const auto with_lg = run_deployment(small_cfg(true));
+  double worst = 1.0;
+  for (const auto& s : with_lg.samples) worst = std::min(s.least_capacity_frac, worst);
+  // Under 10x-accelerated failures the capacity dip is larger than the
+  // paper's realistic regime (<0.25%), but must stay modest; the paper-scale
+  // run lives in bench_fig16_deployment_cdf.
+  EXPECT_GT(worst, 0.75);
+}
+
+TEST(Deployment, OptimizerDisablesWhenCapacityReturns) {
+  const auto res = run_deployment(small_cfg(false));
+  // With accelerated failures under a 75% constraint, some links could not
+  // be disabled immediately; the optimizer should pick up at least part of
+  // the backlog when repairs return.
+  EXPECT_GT(res.kept_active, 0);
+  EXPECT_GT(res.disabled_by_optimizer, 0);
+}
+
+TEST(Deployment, MaxLgPerSwitchStaysSmall) {
+  const auto res = run_deployment(small_cfg(true));
+  // §5: the paper's realistic regime sees at most 2-4 concurrently
+  // LG-enabled links per switch pipe (checked at paper scale in the bench).
+  // The 10x-accelerated test regime accumulates more but is bounded by the
+  // port count.
+  EXPECT_GE(res.max_lg_per_switch, 1);
+  EXPECT_LE(res.max_lg_per_switch, 48);
+}
+
+}  // namespace
+}  // namespace lgsim::corropt

@@ -1,0 +1,120 @@
+// Tests for the Facebook-fabric topology model and the CorrOpt capacity
+// predicates (§2's link A / link B example, §4.8 metrics).
+#include <gtest/gtest.h>
+
+#include "fabric/topology.h"
+
+namespace lgsim::fabric {
+namespace {
+
+TopologyConfig small() {
+  return TopologyConfig{.pods = 2, .tors_per_pod = 48, .fabrics_per_pod = 4,
+                        .spines_per_plane = 48};
+}
+
+TEST(Fabric, LinkCountsMatchGeometry) {
+  FabricTopology t(small());
+  // Per pod: 48*4 ToR-fabric + 4*48 fabric-spine = 384.
+  EXPECT_EQ(t.n_links(), 2 * 384);
+  // The paper's scale: ~260 pods for ~100K links.
+  FabricTopology big({.pods = 260, .tors_per_pod = 48, .fabrics_per_pod = 4,
+                      .spines_per_plane = 48});
+  EXPECT_NEAR(static_cast<double>(big.n_links()), 100'000, 1'000);
+}
+
+TEST(Fabric, FullTopologyHasMaxPaths) {
+  FabricTopology t(small());
+  EXPECT_EQ(t.max_paths_per_tor(), 192);
+  EXPECT_EQ(t.paths_per_tor(0, 0), 192);
+  EXPECT_DOUBLE_EQ(t.least_paths_per_tor_frac(), 1.0);
+  EXPECT_DOUBLE_EQ(t.least_capacity_per_pod_frac(), 1.0);
+}
+
+TEST(Fabric, TorFabricLinkDownCostsOneFabricWorth) {
+  FabricTopology t(small());
+  t.link(t.tor_fabric_link(0, 7, 2)).up = false;
+  // ToR 7 of pod 0 loses the 48 paths through fabric 2.
+  EXPECT_EQ(t.paths_per_tor(0, 7), 144);
+  EXPECT_EQ(t.paths_per_tor(0, 8), 192);  // others unaffected
+  EXPECT_DOUBLE_EQ(t.least_paths_per_tor_frac(), 144.0 / 192.0);
+}
+
+TEST(Fabric, FabricSpineLinkDownCostsOnePathPerTor) {
+  FabricTopology t(small());
+  t.link(t.fabric_spine_link(1, 3, 17)).up = false;
+  for (int tor = 0; tor < 48; ++tor) EXPECT_EQ(t.paths_per_tor(1, tor), 191);
+  EXPECT_EQ(t.paths_per_tor(0, 0), 192);
+}
+
+// The paper's §2 example: with a 75% constraint, the first ToR-fabric link
+// (A) can be disabled, but a second link (B) on the same ToR cannot.
+TEST(Fabric, Section2LinkAThenLinkBExample) {
+  FabricTopology t(small());
+  const auto link_a = t.tor_fabric_link(0, 0, 0);
+  const auto link_b = t.tor_fabric_link(0, 0, 1);
+  EXPECT_TRUE(t.can_disable(link_a, 0.75));
+  t.link(link_a).up = false;
+  // ToR 0 now has 144/192 = 75%; disabling B would drop it to 50%.
+  EXPECT_FALSE(t.can_disable(link_b, 0.75));
+  EXPECT_TRUE(t.can_disable(link_b, 0.50));
+}
+
+TEST(Fabric, CanDisableFabricSpineRespectsPodWideImpact) {
+  FabricTopology t(small());
+  // Take down many spine links of fabric 0 in pod 0: each costs every ToR
+  // one path.
+  for (int s = 0; s < 40; ++s) t.link(t.fabric_spine_link(0, 0, s)).up = false;
+  // 152/192 = 79%: one more is fine at 75%...
+  EXPECT_TRUE(t.can_disable(t.fabric_spine_link(0, 0, 40), 0.75));
+  for (int s = 40; s < 48; ++s) t.link(t.fabric_spine_link(0, 0, s)).up = false;
+  // All fabric-0 spine links down: 144/192 = 75%. Any ToR-fabric link to
+  // another fabric now costs 48 paths -> 96/192 = 50%.
+  EXPECT_FALSE(t.can_disable(t.tor_fabric_link(0, 5, 1), 0.75));
+}
+
+TEST(Fabric, LeastCapacityReflectsLgSpeedReduction) {
+  FabricTopology t(small());
+  auto& l = t.link(t.tor_fabric_link(0, 0, 0));
+  l.corrupting = true;
+  l.lg_enabled = true;
+  l.effective_speed = 0.92;
+  // One of 192 ToR-fabric links in the pod at 92%: tiny capacity dip.
+  const double expect = (191.0 + 0.92) / 192.0;
+  EXPECT_NEAR(t.least_capacity_per_pod_frac(), expect, 1e-9);
+}
+
+TEST(Fabric, TotalPenaltyWithAndWithoutLg) {
+  FabricTopology t(small());
+  auto& a = t.link(5);
+  a.corrupting = true;
+  a.loss_rate = 1e-3;
+  auto& b = t.link(400);
+  b.corrupting = true;
+  b.loss_rate = 1e-4;
+  EXPECT_NEAR(t.total_penalty(1e-8), 1.1e-3, 1e-9);
+  // LinkGuardian on the worse link: its contribution collapses to 1e-9
+  // (two retx copies).
+  a.lg_enabled = true;
+  EXPECT_NEAR(t.total_penalty(1e-8), 1e-4 + 1e-9, 1e-9);
+}
+
+TEST(Fabric, DisabledLinksDoNotCountTowardPenalty) {
+  FabricTopology t(small());
+  auto& a = t.link(5);
+  a.corrupting = true;
+  a.loss_rate = 1e-3;
+  a.up = false;
+  EXPECT_DOUBLE_EQ(t.total_penalty(1e-8), 0.0);
+}
+
+TEST(Fabric, MaxLgPerSwitchCountsSenders) {
+  FabricTopology t(small());
+  // Two LG links transmitting from the same fabric switch (pod 0, fabric 1).
+  t.link(t.fabric_spine_link(0, 1, 3)).lg_enabled = true;
+  t.link(t.fabric_spine_link(0, 1, 9)).lg_enabled = true;
+  t.link(t.fabric_spine_link(0, 2, 1)).lg_enabled = true;
+  EXPECT_EQ(t.max_lg_links_per_switch(), 2);
+}
+
+}  // namespace
+}  // namespace lgsim::fabric

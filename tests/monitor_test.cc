@@ -1,0 +1,145 @@
+// Tests for corruptd (Appendix C): counter polling, moving-window loss
+// estimation, pub-sub notification and LinkGuardian activation end-to-end.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lg/link.h"
+#include "monitor/corruptd.h"
+#include "net/loss_model.h"
+
+namespace lgsim::monitor {
+namespace {
+
+struct FakePort {
+  std::int64_t ok = 0;
+  std::int64_t all = 0;
+  PortCounterFn fn(const std::string& topic) {
+    return {topic, [this] { return ok; }, [this] { return all; }};
+  }
+};
+
+TEST(Corruptd, DetectsLossAboveThreshold) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(10);
+  cfg.threshold = 1e-4;
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;
+  daemon.add_port(port.fn("sw2/eth1"));
+  daemon.start();
+
+  // 1M frames per poll with 0.1% loss.
+  PeriodicTask feed(sim, msec(10), [&](SimTime) {
+    port.all += 1'000'000;
+    port.ok += 999'000;
+  });
+  feed.start(0);
+  sim.run(msec(100));
+  feed.stop();
+  daemon.stop();
+
+  ASSERT_EQ(bus.history().size(), 1u);  // notified exactly once
+  EXPECT_EQ(bus.history()[0].topic, "sw2/eth1");
+  EXPECT_NEAR(bus.history()[0].loss_rate, 1e-3, 1e-4);
+  EXPECT_NEAR(daemon.loss_rate("sw2/eth1"), 1e-3, 1e-4);
+}
+
+TEST(Corruptd, HealthyLinkNeverNotifies) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(10);
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;
+  daemon.add_port(port.fn("sw2/eth2"));
+  daemon.start();
+  PeriodicTask feed(sim, msec(10), [&](SimTime) {
+    port.all += 1'000'000;
+    port.ok += 1'000'000;  // lossless
+  });
+  feed.start(0);
+  sim.run(msec(200));
+  feed.stop();
+  daemon.stop();
+  EXPECT_TRUE(bus.history().empty());
+}
+
+TEST(Corruptd, MovingWindowForgetsOldLoss) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(1);
+  cfg.window_frames = 3'000'000;  // three polls worth
+  cfg.threshold = 1e-2;           // high so no notification interferes
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;
+  daemon.add_port(port.fn("t"));
+  daemon.start();
+  int phase = 0;
+  PeriodicTask feed(sim, msec(1), [&](SimTime) {
+    port.all += 1'000'000;
+    port.ok += (phase++ < 3) ? 999'000 : 1'000'000;  // loss only early
+  });
+  feed.start(0);
+  sim.run(msec(10));
+  feed.stop();
+  daemon.stop();
+  // The lossy polls have rolled out of the window.
+  EXPECT_LT(daemon.loss_rate("t"), 2e-4);
+}
+
+TEST(Corruptd, ActivatorEnablesLinkGuardianWithEq2Copies) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig mcfg;
+  mcfg.poll_period = msec(5);
+  mcfg.threshold = 1e-8;
+  Corruptd daemon(sim, mcfg, bus);
+
+  // A real protected link carrying traffic with 1e-3 corruption.
+  lg::LinkSpec spec;
+  spec.rate = gbps(100);
+  lg::LgConfig lcfg;
+  lg::ProtectedLink link(sim, spec, lcfg);
+  link.set_loss_model(std::make_unique<net::BernoulliLoss>(1e-3, Rng(2)));
+  std::int64_t fwd = 0;
+  link.set_forward_sink([&](net::Packet&&) { ++fwd; });
+
+  // corruptd polls the real port counters of the corrupting link.
+  const auto& pc = link.forward_port().counters();
+  daemon.add_port({"link0",
+                   [&pc] { return pc.delivered_frames; },
+                   [&pc] { return pc.delivered_frames + pc.corrupted_frames; }});
+  daemon.start();
+
+  LgActivator activator(bus, /*target=*/1e-8);
+  activator.watch("link0", [&](int copies) {
+    EXPECT_EQ(copies, 2);  // Eq. 2 at ~1e-3 measured loss
+    link.enable_lg();
+  });
+
+  // Offered load.
+  std::int64_t sent = 0;
+  PeriodicTask gen(sim, nsec(124), [&](SimTime) {
+    net::Packet p;
+    p.kind = net::PktKind::kData;
+    p.frame_bytes = 1518;
+    link.send_forward(std::move(p));
+    ++sent;
+  });
+  gen.start(0);
+  sim.run(msec(50));
+  gen.stop();
+  daemon.stop();
+  sim.run(msec(51));
+
+  ASSERT_EQ(activator.records().size(), 1u);
+  EXPECT_NEAR(activator.records()[0].measured_loss, 1e-3, 4e-4);
+  EXPECT_TRUE(link.lg_enabled());
+  EXPECT_GT(link.sender().stats().protected_sent, 0);
+}
+
+}  // namespace
+}  // namespace lgsim::monitor

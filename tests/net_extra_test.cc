@@ -1,0 +1,146 @@
+// Tests for the Switch abstraction, the PHY-driven attenuation loss model
+// and the time-varying loss process.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/loss_model.h"
+#include "net/switch.h"
+#include "phy/attenuation_loss.h"
+#include "sim/simulator.h"
+
+namespace lgsim {
+namespace {
+
+TEST(Switch, ForwardsByDestination) {
+  Simulator sim;
+  net::Switch sw(sim, "sw");
+  const int p0 = sw.add_port({});
+  const int p1 = sw.add_port({});
+  std::vector<std::uint32_t> out0, out1;
+  sw.connect(p0, [&](net::Packet&& p) { out0.push_back(p.dst); });
+  sw.connect(p1, [&](net::Packet&& p) { out1.push_back(p.dst); });
+  sw.add_route(10, p0);
+  sw.add_route(20, p1);
+  for (std::uint32_t d : {10u, 20u, 10u}) {
+    net::Packet p;
+    p.dst = d;
+    p.frame_bytes = 100;
+    sw.ingress(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(out0, (std::vector<std::uint32_t>{10, 10}));
+  EXPECT_EQ(out1, (std::vector<std::uint32_t>{20}));
+  EXPECT_EQ(sw.rx_frames(), 3);
+}
+
+TEST(Switch, DefaultRouteAndDrops) {
+  Simulator sim;
+  net::Switch sw(sim, "sw");
+  const int p0 = sw.add_port({});
+  int fallback = 0;
+  sw.connect(p0, [&](net::Packet&&) { ++fallback; });
+  net::Packet p;
+  p.dst = 42;
+  sw.ingress(std::move(p));
+  sim.run();
+  EXPECT_EQ(sw.dropped_no_route(), 1);
+  sw.set_default_route(p0);
+  net::Packet q;
+  q.dst = 42;
+  q.frame_bytes = 64;
+  sw.ingress(std::move(q));
+  sim.run();
+  EXPECT_EQ(fallback, 1);
+}
+
+TEST(Switch, PipelineLatencyApplies) {
+  Simulator sim;
+  net::Switch sw(sim, "sw", nsec(500));
+  const int p0 = sw.add_port({.rate = gbps(100), .prop_delay = 0});
+  SimTime arrival = -1;
+  sw.connect(p0, [&](net::Packet&&) { arrival = sim.now(); });
+  sw.add_route(1, p0);
+  net::Packet p;
+  p.dst = 1;
+  p.frame_bytes = 64;
+  sw.ingress(std::move(p));
+  sim.run();
+  // 500 ns pipeline + 84 B at 100G (~6.7 ns).
+  EXPECT_GE(arrival, 506);
+  EXPECT_LE(arrival, 508);
+}
+
+TEST(Switch, EgressOverrideIntercepts) {
+  Simulator sim;
+  net::Switch sw(sim, "sw");
+  const int p0 = sw.add_port({});
+  int intercepted = 0;
+  sw.add_route(7, p0);
+  sw.set_egress_override(p0, [&](net::Packet&&) { ++intercepted; });
+  net::Packet p;
+  p.dst = 7;
+  sw.ingress(std::move(p));
+  sim.run();
+  EXPECT_EQ(intercepted, 1);
+}
+
+TEST(AttenuationLoss, LossRateMatchesPhyModel) {
+  auto xcvr = phy::make_25g_sr_nofec();
+  // Pick an attenuation where the loss is ~1e-2 for MTU frames.
+  double atten = 0;
+  for (double a = 9.0; a <= 20.0; a += 0.01) {
+    if (xcvr.frame_loss_rate(a, 1518) >= 1e-2) {
+      atten = a;
+      break;
+    }
+  }
+  ASSERT_GT(atten, 0);
+  phy::AttenuationLoss loss(xcvr, atten, Rng(3));
+  const double expect = xcvr.frame_loss_rate(atten, 1518);
+  net::Packet p;
+  p.frame_bytes = 1518;
+  int lost = 0;
+  const int n = 300'000;
+  for (int i = 0; i < n; ++i)
+    if (loss.lose(0, p)) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, expect, expect * 0.15);
+}
+
+TEST(AttenuationLoss, SmallerFramesSurviveBetter) {
+  auto xcvr = phy::make_25g_sr_nofec();
+  phy::AttenuationLoss loss(xcvr, 14.0, Rng(5));
+  EXPECT_LT(loss.loss_for_size(64), loss.loss_for_size(1518));
+}
+
+TEST(AttenuationLoss, ReaimingTheVoaChangesRates) {
+  auto xcvr = phy::make_25g_sr_nofec();
+  phy::AttenuationLoss loss(xcvr, 10.0, Rng(5));
+  const double before = loss.loss_for_size(1518);
+  loss.set_attenuation(15.0);
+  EXPECT_GT(loss.loss_for_size(1518), before);
+}
+
+TEST(TimeVaryingLoss, SegmentsApplyInOrder) {
+  net::TimeVaryingLoss loss({{usec(10), 1.0}, {usec(20), 0.0}}, Rng(1));
+  net::Packet p;
+  EXPECT_FALSE(loss.lose(usec(5), p));   // before onset: rate 0
+  EXPECT_TRUE(loss.lose(usec(15), p));   // rate 1
+  EXPECT_FALSE(loss.lose(usec(25), p));  // repaired
+  EXPECT_DOUBLE_EQ(loss.rate_at(usec(15)), 1.0);
+  EXPECT_DOUBLE_EQ(loss.rate_at(usec(25)), 0.0);
+}
+
+TEST(TimeVaryingLoss, StatisticalRate) {
+  net::TimeVaryingLoss loss({{0, 0.02}}, Rng(9));
+  net::Packet p;
+  int lost = 0;
+  const int n = 500'000;
+  for (int i = 0; i < n; ++i)
+    if (loss.lose(usec(1), p)) ++lost;
+  EXPECT_NEAR(static_cast<double>(lost) / n, 0.02, 0.002);
+}
+
+}  // namespace
+}  // namespace lgsim

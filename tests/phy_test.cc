@@ -1,0 +1,146 @@
+// Tests for the optical attenuation -> BER -> frame loss model (Fig. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/optical.h"
+
+namespace lgsim::phy {
+namespace {
+
+TEST(Fec, Parameters) {
+  EXPECT_EQ(fec_params(FecCode::kNone).n, 0);
+  const auto kr4 = fec_params(FecCode::kRs528_514);
+  EXPECT_EQ(kr4.n, 528);
+  EXPECT_EQ(kr4.k, 514);
+  EXPECT_EQ(kr4.t, 7);
+  const auto kp4 = fec_params(FecCode::kRs544_514);
+  EXPECT_EQ(kp4.n, 544);
+  EXPECT_EQ(kp4.t, 15);
+}
+
+TEST(RawBer, DecreasesWithQ) {
+  EXPECT_GT(raw_ber(Modulation::kNrz, 3.0), raw_ber(Modulation::kNrz, 5.0));
+  EXPECT_GT(raw_ber(Modulation::kNrz, 5.0), raw_ber(Modulation::kNrz, 7.0));
+}
+
+TEST(RawBer, Pam4NeedsHigherQ) {
+  // Same Q: PAM4 is much worse (one-third eye opening).
+  EXPECT_GT(raw_ber(Modulation::kPam4, 7.0), raw_ber(Modulation::kNrz, 7.0) * 100);
+}
+
+TEST(RawBer, KnownValue) {
+  // Q = 7.034 is the classic BER 1e-12 point for NRZ.
+  EXPECT_NEAR(std::log10(raw_ber(Modulation::kNrz, 7.034)), -12.0, 0.1);
+}
+
+TEST(CodewordError, ZeroAtZeroBer) {
+  EXPECT_DOUBLE_EQ(codeword_error_prob(FecCode::kRs528_514, 0.0), 0.0);
+}
+
+TEST(CodewordError, MonotoneInBer) {
+  double prev = 0.0;
+  for (double ber = 1e-8; ber < 2e-2; ber *= 10) {
+    const double e = codeword_error_prob(FecCode::kRs528_514, ber);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+  // At BER 1e-2 the symbol error rate is ~10%, i.e. ~50 expected symbol
+  // errors per 528-symbol codeword against a correction budget of 7: the
+  // codeword almost surely fails.
+  EXPECT_GT(prev, 0.9);
+}
+
+TEST(CodewordError, Kp4StrongerThanKr4) {
+  const double ber = 3e-5;
+  EXPECT_LT(codeword_error_prob(FecCode::kRs544_514, ber),
+            codeword_error_prob(FecCode::kRs528_514, ber));
+}
+
+TEST(Transceiver, CalibrationHitsThreshold) {
+  const auto t = make_25g_sr_nofec();
+  const double loss = t.frame_loss_rate(12.5, 1518);
+  EXPECT_NEAR(std::log10(loss), -8.0, 0.05);
+}
+
+TEST(Transceiver, CalibrationHitsThresholdWithFec) {
+  const auto t = make_50g_sr();
+  const double loss = t.frame_loss_rate(10.5, 1518);
+  EXPECT_NEAR(std::log10(loss), -8.0, 0.05);
+}
+
+TEST(Transceiver, LossMonotoneInAttenuation) {
+  for (const auto& t : {make_10g_sr(), make_25g_sr_nofec(), make_25g_sr_fec(),
+                        make_50g_sr()}) {
+    double prev = 0.0;
+    for (double a = 9.0; a <= 18.0; a += 0.5) {
+      const double loss = t.frame_loss_rate(a, 1518);
+      EXPECT_GE(loss, prev) << t.name << " at " << a << " dB";
+      EXPECT_GE(loss, 0.0);
+      EXPECT_LE(loss, 1.0);
+      prev = loss;
+    }
+  }
+}
+
+// The ordering observed in Fig. 1: the attenuation at which each transceiver
+// crosses the healthy-link loss rate (1e-8) increases in the order
+// 50G(FEC) < 25G < 25G(FEC) < 10G — denser modulation and higher baudrate
+// lose margin; FEC buys some of it back.
+TEST(Transceiver, Fig1ThresholdOrdering) {
+  auto threshold = [](const Transceiver& t) {
+    for (double a = 5.0; a <= 25.0; a += 0.01)
+      if (t.frame_loss_rate(a, 1518) >= 1e-8) return a;
+    return 25.0;
+  };
+  const double a50 = threshold(make_50g_sr());
+  const double a25 = threshold(make_25g_sr_nofec());
+  const double a25f = threshold(make_25g_sr_fec());
+  const double a10 = threshold(make_10g_sr());
+  EXPECT_LT(a50, a25);
+  EXPECT_LT(a25, a25f);
+  EXPECT_LT(a25f, a10);
+}
+
+// FEC makes the cliff steeper: the attenuation span between loss=1e-8 and
+// loss=0.5 is narrower with FEC than without for the same 25G optics.
+TEST(Transceiver, FecSteepensCliff) {
+  const auto nofec = make_25g_sr_nofec();
+  const auto fec = make_25g_sr_fec();
+  auto span = [](const Transceiver& t) {
+    double lo = 0, hi = 0;
+    for (double a = 9.0; a <= 25.0; a += 0.01) {
+      const double l = t.frame_loss_rate(a, 1518);
+      if (lo == 0 && l >= 1e-8) lo = a;
+      if (hi == 0 && l >= 0.5) {
+        hi = a;
+        break;
+      }
+    }
+    return hi - lo;
+  };
+  EXPECT_LT(span(fec), span(nofec));
+}
+
+// Footnote 2: frame loss 1e-8 for MTU frames corresponds to BER ~1e-12,
+// the healthy-link criterion. Our model should agree near the threshold.
+TEST(Transceiver, HealthyLinkBerAtThreshold) {
+  const auto t = make_25g_sr_nofec();
+  const double ber = t.ber_at(12.5);
+  EXPECT_NEAR(std::log10(ber), -12.0, 0.2);
+}
+
+TEST(Transceiver, BiggerFramesLoseMore) {
+  const auto t = make_25g_sr_nofec();
+  EXPECT_GT(t.frame_loss_rate(13.0, 1518), t.frame_loss_rate(13.0, 64));
+}
+
+TEST(CalibrateQ0, RoundTrips) {
+  const double q0 = calibrate_q0(Modulation::kNrz, FecCode::kNone, 15.0, 1e-6);
+  Transceiver t{.name = "t", .modulation = Modulation::kNrz,
+                .fec = FecCode::kNone, .q0 = q0};
+  EXPECT_NEAR(std::log10(t.frame_loss_rate(15.0, 1518)), -6.0, 0.05);
+}
+
+}  // namespace
+}  // namespace lgsim::phy

@@ -1,0 +1,109 @@
+// Property tests for the 16-bit + era-bit sequence arithmetic (§3.5).
+//
+// The reference model is plain 64-bit integers: wire(v) = (v mod 2^16,
+// (v / 2^16) mod 2). Every comparison the protocol makes must agree with the
+// 64-bit truth as long as the operands are within N/2 of each other.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "lg/seqno.h"
+#include "sim/random.h"
+
+namespace lgsim::lg {
+namespace {
+
+SeqEra wire_of(std::int64_t v) {
+  return SeqEra{static_cast<std::uint16_t>(v & 0xFFFF),
+                static_cast<std::uint8_t>((v >> 16) & 1)};
+}
+
+TEST(SeqNo, NextIncrementsWithinEra) {
+  SeqEra s{5, 0};
+  s = seq_next(s);
+  EXPECT_EQ(s.seq, 6);
+  EXPECT_EQ(s.era, 0);
+}
+
+TEST(SeqNo, NextTogglesEraOnWrap) {
+  SeqEra s{0xFFFF, 0};
+  s = seq_next(s);
+  EXPECT_EQ(s.seq, 0);
+  EXPECT_EQ(s.era, 1);
+  // And back again on the next wrap.
+  s.seq = 0xFFFF;
+  s = seq_next(s);
+  EXPECT_EQ(s.seq, 0);
+  EXPECT_EQ(s.era, 0);
+}
+
+TEST(SeqNo, SameEraDistance) {
+  EXPECT_EQ(seq_distance({100, 0}, {40, 0}), 60);
+  EXPECT_EQ(seq_distance({40, 0}, {100, 0}), -60);
+  EXPECT_EQ(seq_distance({7, 1}, {7, 1}), 0);
+}
+
+TEST(SeqNo, CrossEraDistanceNearWrap) {
+  // 65530 (era 0) followed by 5 (era 1): forward distance 11.
+  EXPECT_EQ(seq_distance({5, 1}, {65530, 0}), 11);
+  EXPECT_EQ(seq_distance({65530, 0}, {5, 1}), -11);
+}
+
+TEST(SeqNo, ComparisonHelpers) {
+  EXPECT_TRUE(seq_less({65530, 0}, {5, 1}));
+  EXPECT_TRUE(seq_greater({5, 1}, {65530, 0}));
+  EXPECT_TRUE(seq_leq({9, 0}, {9, 0}));
+  EXPECT_FALSE(seq_less({9, 0}, {9, 0}));
+}
+
+TEST(SeqNo, BeforeFirstPrecedesZero) {
+  EXPECT_EQ(seq_next(seq_before_first()), (SeqEra{0, 0}));
+  EXPECT_EQ(seq_distance({0, 0}, seq_before_first()), 1);
+}
+
+TEST(SeqNo, SeqAddMatchesRepeatedNext) {
+  SeqEra s{0xFFFE, 1};
+  const SeqEra t = seq_add(s, 3);
+  EXPECT_EQ(t.seq, 1);
+  EXPECT_EQ(t.era, 0);
+}
+
+// Property: for random 64-bit positions and offsets within (-N/2, N/2), the
+// wire-format distance equals the integer distance.
+TEST(SeqNoProperty, DistanceMatchesReferenceAcrossWraps) {
+  Rng rng(1234);
+  for (int i = 0; i < 200'000; ++i) {
+    const std::int64_t base = static_cast<std::int64_t>(rng.uniform_int(1'000'000'000));
+    const std::int32_t off =
+        static_cast<std::int32_t>(rng.uniform_int(kSeqSpace - 1)) -
+        static_cast<std::int32_t>(kSeqHalf - 1);
+    const std::int64_t other = base + off;
+    if (other < 0) continue;
+    ASSERT_EQ(seq_distance(wire_of(other), wire_of(base)), off)
+        << "base=" << base << " off=" << off;
+  }
+}
+
+// Property: walking seq_next for many steps stays consistent with wire_of.
+TEST(SeqNoProperty, NextWalkMatchesReference) {
+  SeqEra s = wire_of(0);
+  for (std::int64_t v = 0; v < 200'000; ++v) {
+    ASSERT_EQ(s.seq, wire_of(v).seq);
+    ASSERT_EQ(s.era, wire_of(v).era);
+    s = seq_next(s);
+  }
+}
+
+// The paper's correctness condition: era correction works as long as the two
+// sequence numbers are not more than N/2 apart. Verify the boundary.
+TEST(SeqNoProperty, HalfWindowBoundary) {
+  const std::int64_t base = 3 * kSeqSpace + 7;  // arbitrary, era toggles hit
+  // Exactly N/2 - 1 apart: still correct.
+  EXPECT_EQ(seq_distance(wire_of(base + kSeqHalf - 1), wire_of(base)),
+            kSeqHalf - 1);
+  EXPECT_EQ(seq_distance(wire_of(base - (kSeqHalf - 1)), wire_of(base)),
+            -(kSeqHalf - 1));
+}
+
+}  // namespace
+}  // namespace lgsim::lg

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace lgsim {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, StableOrderAtSameTimestamp) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.schedule_at(5, [&] { order.push_back(2); });
+  sim.schedule_at(5, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Simulator, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeOnZero) {
+  Simulator sim;
+  sim.cancel(0);  // no-op
+  const auto id = sim.schedule_at(10, [] {});
+  sim.cancel(id);
+  sim.cancel(id);
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 4);
+}
+
+TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  PeriodicTask task(sim, 10, [&](SimTime t) { fires.push_back(t); });
+  task.start(0);
+  sim.schedule_at(35, [&] { task.stop(); });
+  sim.run();
+  EXPECT_EQ(fires, (std::vector<SimTime>{0, 10, 20, 30}));
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(11);
+  const double p = 0.001;
+  const int n = 2'000'000;
+  int hits = 0;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(p)) ++hits;
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, p, p * 0.15);  // within 15% relative
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(13);
+  EXPECT_FALSE(r.bernoulli(0.0));
+  EXPECT_TRUE(r.bernoulli(1.0));
+  EXPECT_FALSE(r.bernoulli(-1.0));
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, WeibullShapeOneIsExponential) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += r.weibull(1.0, 3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.1);  // mean of Weibull(1, s) = s
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(23);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(r.uniform_int(7), 7u);
+  }
+  // All values reachable.
+  bool seen[7] = {};
+  for (int i = 0; i < 1'000; ++i) seen[r.uniform_int(7)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, SplitIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream should not equal the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next_u64() == child.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace lgsim

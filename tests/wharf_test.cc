@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "wharf/wharf.h"
+
+namespace lgsim::wharf {
+namespace {
+
+TEST(WharfParams, CapacityFraction) {
+  EXPECT_NEAR((WharfParams{25, 1}.capacity_fraction()), 25.0 / 26.0, 1e-12);
+  EXPECT_NEAR((WharfParams{5, 1}.capacity_fraction()), 5.0 / 6.0, 1e-12);
+}
+
+TEST(WharfParams, SelectionMatchesTable3Shape) {
+  // Light redundancy (~96% capacity) up to 1e-3, heavy (~83%) at 1e-2 —
+  // matching Wharf's goodput of 9.13 and 7.91 Gb/s on a 10G link.
+  EXPECT_NEAR(wharf_params_for(1e-5).capacity_fraction(), 0.9615, 1e-3);
+  EXPECT_NEAR(wharf_params_for(1e-3).capacity_fraction(), 0.9615, 1e-3);
+  EXPECT_NEAR(wharf_params_for(1e-2).capacity_fraction(), 0.8333, 1e-3);
+}
+
+TEST(WharfResidual, ZeroAtZeroLoss) {
+  EXPECT_DOUBLE_EQ(wharf_residual_loss({25, 1}, 0.0), 0.0);
+}
+
+TEST(WharfResidual, QuadraticSuppressionForR1) {
+  // With r = 1 parity the residual is ~ q^2 * (k+r-1): two losses must land
+  // in one block.
+  const double q = 1e-3;
+  const double res = wharf_residual_loss(WharfParams{25, 1}, q);
+  EXPECT_NEAR(res, q * (1.0 - std::pow(1.0 - q, 25)), res * 0.05);
+  EXPECT_LT(res, q);      // always better than raw loss
+  EXPECT_GT(res, q * q);  // but not a free lunch
+}
+
+TEST(WharfResidual, MoreParityHelps) {
+  EXPECT_LT(wharf_residual_loss(WharfParams{24, 2}, 1e-3),
+            wharf_residual_loss(WharfParams{25, 1}, 1e-3));
+}
+
+TEST(WharfLossModel, RecoversWithinBudgetLosesBeyond) {
+  // Measure the empirical residual loss of the block model against the
+  // analytic expression.
+  const WharfParams params{5, 1};
+  const double q = 0.02;
+  WharfLossModel model(params, q, Rng(3));
+  net::Packet p;
+  p.kind = net::PktKind::kData;
+  const int n = 2'000'000;
+  int lost = 0;
+  for (int i = 0; i < n; ++i)
+    if (model.lose(0, p)) ++lost;
+  const double measured = static_cast<double>(lost) / n;
+  const double analytic = wharf_residual_loss(params, q);
+  EXPECT_NEAR(measured, analytic, analytic * 0.15);
+  EXPECT_GT(model.recovered_frames(), 0);
+  EXPECT_GT(model.blocks(), n / (params.k + params.r));
+}
+
+TEST(WharfLossModel, NoLossPassesEverything) {
+  WharfLossModel model(WharfParams{25, 1}, 0.0, Rng(1));
+  net::Packet p;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.lose(0, p));
+  EXPECT_EQ(model.unrecovered_frames(), 0);
+}
+
+}  // namespace
+}  // namespace lgsim::wharf

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "workload/flow_sizes.h"
+
+namespace lgsim::workload {
+namespace {
+
+const Workload kAll[] = {
+    Workload::kMetaKeyValue,   Workload::kGoogleSearchRpc,
+    Workload::kGoogleAllRpc,   Workload::kMetaHadoop,
+    Workload::kAlibabaStorage, Workload::kDctcpWebSearch,
+};
+
+TEST(FlowSizes, CdfMonotoneAndBounded) {
+  for (auto w : kAll) {
+    const auto d = FlowSizeDistribution::make(w);
+    double prev = 0.0;
+    for (double b = 1; b < 1e8; b *= 2) {
+      const double c = d.cdf(b);
+      EXPECT_GE(c, prev) << workload_name(w);
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 1.0);
+      prev = c;
+    }
+    EXPECT_DOUBLE_EQ(d.cdf(d.max_bytes() * 2), 1.0);
+  }
+}
+
+TEST(FlowSizes, SamplesWithinSupport) {
+  Rng rng(5);
+  for (auto w : kAll) {
+    const auto d = FlowSizeDistribution::make(w);
+    for (int i = 0; i < 10'000; ++i) {
+      const auto s = static_cast<double>(d.sample(rng));
+      EXPECT_GE(s, d.min_bytes() * 0.99) << workload_name(w);
+      EXPECT_LE(s, d.max_bytes() * 1.01) << workload_name(w);
+    }
+  }
+}
+
+TEST(FlowSizes, SampleDistributionMatchesCdf) {
+  Rng rng(11);
+  const auto d = FlowSizeDistribution::make(Workload::kGoogleAllRpc);
+  const int n = 200'000;
+  int below_1448 = 0;
+  for (int i = 0; i < n; ++i) {
+    if (d.sample(rng) <= 1448) ++below_1448;
+  }
+  EXPECT_NEAR(static_cast<double>(below_1448) / n, d.cdf(1448), 0.01);
+}
+
+// Fig. 2's motivating property: most flows in most workloads fit within a
+// single packet (or at most a few).
+TEST(FlowSizes, MostFlowsAreShort) {
+  EXPECT_GT(FlowSizeDistribution::make(Workload::kGoogleAllRpc)
+                .single_packet_fraction(),
+            0.80);
+  EXPECT_GT(FlowSizeDistribution::make(Workload::kMetaKeyValue)
+                .single_packet_fraction(),
+            0.90);
+  EXPECT_GT(FlowSizeDistribution::make(Workload::kGoogleSearchRpc)
+                .single_packet_fraction(),
+            0.80);
+}
+
+// The two flow sizes the paper singles out sit inside the right workloads.
+TEST(FlowSizes, PaperAnchorsPresent) {
+  const auto rpc = FlowSizeDistribution::make(Workload::kGoogleAllRpc);
+  EXPECT_GT(rpc.cdf(143.0), 0.2);
+  const auto ws = FlowSizeDistribution::make(Workload::kDctcpWebSearch);
+  EXPECT_GT(ws.cdf(24'387.0), 0.3);
+  EXPECT_LT(ws.cdf(24'387.0), 0.8);
+  const auto ali = FlowSizeDistribution::make(Workload::kAlibabaStorage);
+  EXPECT_DOUBLE_EQ(ali.max_bytes(), 2'097'152.0);
+}
+
+TEST(FlowSizes, MeanIsFinite) {
+  for (auto w : kAll) {
+    const auto d = FlowSizeDistribution::make(w);
+    EXPECT_GT(d.mean_bytes(), d.min_bytes());
+    EXPECT_LT(d.mean_bytes(), d.max_bytes());
+  }
+}
+
+}  // namespace
+}  // namespace lgsim::workload
