@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recirc.dir/bench_ablation_recirc.cc.o"
+  "CMakeFiles/bench_ablation_recirc.dir/bench_ablation_recirc.cc.o.d"
+  "bench_ablation_recirc"
+  "bench_ablation_recirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_fct_1pkt.dir/bench_fig10_fct_1pkt.cc.o"
+  "CMakeFiles/bench_fig10_fct_1pkt.dir/bench_fig10_fct_1pkt.cc.o.d"
+  "bench_fig10_fct_1pkt"
+  "bench_fig10_fct_1pkt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_fct_1pkt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

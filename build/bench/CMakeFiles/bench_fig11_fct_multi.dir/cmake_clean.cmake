@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fct_multi.dir/bench_fig11_fct_multi.cc.o"
+  "CMakeFiles/bench_fig11_fct_multi.dir/bench_fig11_fct_multi.cc.o.d"
+  "bench_fig11_fct_multi"
+  "bench_fig11_fct_multi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fct_multi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_fct_2mb.dir/bench_fig12_fct_2mb.cc.o"
+  "CMakeFiles/bench_fig12_fct_2mb.dir/bench_fig12_fct_2mb.cc.o.d"
+  "bench_fig12_fct_2mb"
+  "bench_fig12_fct_2mb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_fct_2mb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

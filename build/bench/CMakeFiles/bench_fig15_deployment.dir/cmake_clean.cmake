@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_deployment.dir/bench_fig15_deployment.cc.o"
+  "CMakeFiles/bench_fig15_deployment.dir/bench_fig15_deployment.cc.o.d"
+  "bench_fig15_deployment"
+  "bench_fig15_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

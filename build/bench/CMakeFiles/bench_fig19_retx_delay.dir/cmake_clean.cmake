@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_retx_delay.dir/bench_fig19_retx_delay.cc.o"
+  "CMakeFiles/bench_fig19_retx_delay.dir/bench_fig19_retx_delay.cc.o.d"
+  "bench_fig19_retx_delay"
+  "bench_fig19_retx_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_retx_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_cubic_bbr.dir/bench_fig21_cubic_bbr.cc.o"
+  "CMakeFiles/bench_fig21_cubic_bbr.dir/bench_fig21_cubic_bbr.cc.o.d"
+  "bench_fig21_cubic_bbr"
+  "bench_fig21_cubic_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_cubic_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

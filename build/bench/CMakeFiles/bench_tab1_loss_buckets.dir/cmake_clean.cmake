@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_loss_buckets.dir/bench_tab1_loss_buckets.cc.o"
+  "CMakeFiles/bench_tab1_loss_buckets.dir/bench_tab1_loss_buckets.cc.o.d"
+  "bench_tab1_loss_buckets"
+  "bench_tab1_loss_buckets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_loss_buckets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_wharf.dir/bench_tab3_wharf.cc.o"
+  "CMakeFiles/bench_tab3_wharf.dir/bench_tab3_wharf.cc.o.d"
+  "bench_tab3_wharf"
+  "bench_tab3_wharf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_wharf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_recirc.dir/bench_tab4_recirc.cc.o"
+  "CMakeFiles/bench_tab4_recirc.dir/bench_tab4_recirc.cc.o.d"
+  "bench_tab4_recirc"
+  "bench_tab4_recirc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_recirc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

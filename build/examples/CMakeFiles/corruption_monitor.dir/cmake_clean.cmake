@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corruption_monitor.dir/corruption_monitor.cpp.o"
+  "CMakeFiles/corruption_monitor.dir/corruption_monitor.cpp.o.d"
+  "corruption_monitor"
+  "corruption_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corruption_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_deployment.dir/fabric_deployment.cpp.o"
+  "CMakeFiles/fabric_deployment.dir/fabric_deployment.cpp.o.d"
+  "fabric_deployment"
+  "fabric_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fct_experiment.dir/fct_experiment.cpp.o"
+  "CMakeFiles/fct_experiment.dir/fct_experiment.cpp.o.d"
+  "fct_experiment"
+  "fct_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fct_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

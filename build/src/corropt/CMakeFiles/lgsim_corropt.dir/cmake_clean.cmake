@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_corropt.dir/corropt.cc.o"
+  "CMakeFiles/lgsim_corropt.dir/corropt.cc.o.d"
+  "liblgsim_corropt.a"
+  "liblgsim_corropt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_corropt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

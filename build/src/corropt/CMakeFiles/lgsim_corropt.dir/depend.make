@@ -1,0 +1,2 @@
+# Empty dependencies file for lgsim_corropt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_fabric.dir/topology.cc.o"
+  "CMakeFiles/lgsim_fabric.dir/topology.cc.o.d"
+  "liblgsim_fabric.a"
+  "liblgsim_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

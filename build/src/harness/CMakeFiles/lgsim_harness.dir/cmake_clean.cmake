@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_harness.dir/fct.cc.o"
+  "CMakeFiles/lgsim_harness.dir/fct.cc.o.d"
+  "CMakeFiles/lgsim_harness.dir/stress.cc.o"
+  "CMakeFiles/lgsim_harness.dir/stress.cc.o.d"
+  "CMakeFiles/lgsim_harness.dir/timeline.cc.o"
+  "CMakeFiles/lgsim_harness.dir/timeline.cc.o.d"
+  "liblgsim_harness.a"
+  "liblgsim_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_lg.dir/receiver.cc.o"
+  "CMakeFiles/lgsim_lg.dir/receiver.cc.o.d"
+  "CMakeFiles/lgsim_lg.dir/sender.cc.o"
+  "CMakeFiles/lgsim_lg.dir/sender.cc.o.d"
+  "liblgsim_lg.a"
+  "liblgsim_lg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_lg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

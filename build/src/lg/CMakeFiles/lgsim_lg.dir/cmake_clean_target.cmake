@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblgsim_lg.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_monitor.dir/corruptd.cc.o"
+  "CMakeFiles/lgsim_monitor.dir/corruptd.cc.o.d"
+  "liblgsim_monitor.a"
+  "liblgsim_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_phy.dir/optical.cc.o"
+  "CMakeFiles/lgsim_phy.dir/optical.cc.o.d"
+  "liblgsim_phy.a"
+  "liblgsim_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for lgsim_phy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_transport.dir/rdma.cc.o"
+  "CMakeFiles/lgsim_transport.dir/rdma.cc.o.d"
+  "CMakeFiles/lgsim_transport.dir/tcp.cc.o"
+  "CMakeFiles/lgsim_transport.dir/tcp.cc.o.d"
+  "liblgsim_transport.a"
+  "liblgsim_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_wharf.dir/wharf.cc.o"
+  "CMakeFiles/lgsim_wharf.dir/wharf.cc.o.d"
+  "liblgsim_wharf.a"
+  "liblgsim_wharf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_wharf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lgsim_wharf.
+# This may be replaced when dependencies are built.

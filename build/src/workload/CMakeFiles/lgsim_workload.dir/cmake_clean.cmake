@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lgsim_workload.dir/flow_sizes.cc.o"
+  "CMakeFiles/lgsim_workload.dir/flow_sizes.cc.o.d"
+  "liblgsim_workload.a"
+  "liblgsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lgsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

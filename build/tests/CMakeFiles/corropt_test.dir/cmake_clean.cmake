@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/corropt_test.dir/corropt_test.cc.o"
+  "CMakeFiles/corropt_test.dir/corropt_test.cc.o.d"
+  "corropt_test"
+  "corropt_test.pdb"
+  "corropt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/corropt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

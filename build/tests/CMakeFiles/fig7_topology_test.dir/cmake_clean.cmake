@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_topology_test.dir/fig7_topology_test.cc.o"
+  "CMakeFiles/fig7_topology_test.dir/fig7_topology_test.cc.o.d"
+  "fig7_topology_test"
+  "fig7_topology_test.pdb"
+  "fig7_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

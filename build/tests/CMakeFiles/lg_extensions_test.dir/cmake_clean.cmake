@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_extensions_test.dir/lg_extensions_test.cc.o"
+  "CMakeFiles/lg_extensions_test.dir/lg_extensions_test.cc.o.d"
+  "lg_extensions_test"
+  "lg_extensions_test.pdb"
+  "lg_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_property_test.dir/lg_property_test.cc.o"
+  "CMakeFiles/lg_property_test.dir/lg_property_test.cc.o.d"
+  "lg_property_test"
+  "lg_property_test.pdb"
+  "lg_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lg_protocol_test.dir/lg_protocol_test.cc.o"
+  "CMakeFiles/lg_protocol_test.dir/lg_protocol_test.cc.o.d"
+  "lg_protocol_test"
+  "lg_protocol_test.pdb"
+  "lg_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lg_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

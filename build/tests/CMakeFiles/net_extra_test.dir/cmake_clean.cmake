@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_extra_test.dir/net_extra_test.cc.o"
+  "CMakeFiles/net_extra_test.dir/net_extra_test.cc.o.d"
+  "net_extra_test"
+  "net_extra_test.pdb"
+  "net_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seqno_test.dir/seqno_test.cc.o"
+  "CMakeFiles/seqno_test.dir/seqno_test.cc.o.d"
+  "seqno_test"
+  "seqno_test.pdb"
+  "seqno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seqno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wharf_test.dir/wharf_test.cc.o"
+  "CMakeFiles/wharf_test.dir/wharf_test.cc.o.d"
+  "wharf_test"
+  "wharf_test.pdb"
+  "wharf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wharf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
