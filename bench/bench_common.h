@@ -11,15 +11,17 @@
 #include <cstdlib>
 #include <string>
 
+#include "harness/parallel.h"
+#include "util/env.h"
+
 namespace lgsim::bench {
 
 inline double scale() {
-  static const double s = [] {
-    const char* env = std::getenv("LGSIM_BENCH_SCALE");
-    if (env == nullptr) return 1.0;
-    const double v = std::atof(env);
-    return v > 0 ? v : 1.0;
-  }();
+  // parse_positive_double rejects NaN/inf/garbage, which std::atof would
+  // happily let through into loop bounds (NaN fails every comparison, so a
+  // `for (i < scaled(n))` loop would run zero or forever depending on form).
+  static const double s =
+      parse_positive_double(std::getenv("LGSIM_BENCH_SCALE"), 1.0);
   return s;
 }
 
@@ -34,5 +36,9 @@ inline void banner(const char* id, const char* title) {
   std::printf("(LGSIM_BENCH_SCALE=%.3g)\n", scale());
   std::printf("================================================================\n");
 }
+
+/// Worker count for replication sweeps (LGSIM_BENCH_JOBS). Deliberately not
+/// printed in banner(): output must stay byte-identical across job counts.
+inline unsigned jobs() { return harness::bench_jobs(); }
 
 }  // namespace lgsim::bench

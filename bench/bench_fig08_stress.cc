@@ -3,6 +3,7 @@
 // rates, plus the §4.1 "timeouts in practice" counter.
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/stress.h"
@@ -22,6 +23,10 @@ int main() {
   std::int64_t total_loss_events = 0;
   std::int64_t total_timeouts = 0;
 
+  // Build the full replication grid first, then fan it out over
+  // LGSIM_BENCH_JOBS workers; results come back in grid order, so the rows
+  // are byte-identical to the old serial loop for any job count.
+  std::vector<StressConfig> grid;
   for (BitRate rate : {gbps(25), gbps(100)}) {
     for (double loss : {1e-5, 1e-4, 1e-3}) {
       for (bool nb : {false, true}) {
@@ -36,21 +41,28 @@ int main() {
         if (c.packets > 10'000'000) c.packets = 10'000'000;
         c.seed = 17 + static_cast<std::uint64_t>(loss * 1e6) + (nb ? 1 : 0) +
                  (rate == gbps(100) ? 100 : 25);
-        const StressResult r = harness::run_stress(c);
-        total_loss_events += r.data_frames_lost;
-        total_timeouts += r.timeouts;
-        t.add_row({rate == gbps(25) ? "25G" : "100G", TablePrinter::sci(loss, 0),
-                   nb ? "LG_NB" : "LG",
-                   std::to_string(lg::retx_copies(loss, c.lg.target_loss_rate)),
-                   TablePrinter::sci(r.actual_loss_rate),
-                   r.effectively_lost == 0
-                       ? "0 observed"
-                       : TablePrinter::sci(r.effective_loss_rate),
-                   TablePrinter::sci(r.analytic_loss_rate),
-                   TablePrinter::fmt(100.0 * r.effective_speed_frac, 2),
-                   std::to_string(r.timeouts)});
+        grid.push_back(c);
       }
     }
+  }
+  const std::vector<StressResult> results = harness::run_stress_grid(grid);
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const StressConfig& c = grid[i];
+    const StressResult& r = results[i];
+    const bool nb = !c.lg.preserve_order;
+    total_loss_events += r.data_frames_lost;
+    total_timeouts += r.timeouts;
+    t.add_row({c.rate == gbps(25) ? "25G" : "100G",
+               TablePrinter::sci(c.loss_rate, 0), nb ? "LG_NB" : "LG",
+               std::to_string(lg::retx_copies(c.loss_rate, c.lg.target_loss_rate)),
+               TablePrinter::sci(r.actual_loss_rate),
+               r.effectively_lost == 0
+                   ? "0 observed"
+                   : TablePrinter::sci(r.effective_loss_rate),
+               TablePrinter::sci(r.analytic_loss_rate),
+               TablePrinter::fmt(100.0 * r.effective_speed_frac, 2),
+               std::to_string(r.timeouts)});
   }
   t.print();
 

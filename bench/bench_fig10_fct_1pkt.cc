@@ -1,6 +1,7 @@
 // Figure 10: top-1% FCT for 143 B (single-packet) flows on a 100G link with
 // ~1e-3 corruption loss, DCTCP and RDMA WRITE, under four conditions.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/fct.h"
@@ -13,10 +14,10 @@ int main() {
 
   const std::int64_t trials = bench::scaled(100'000, 2'000);
 
+  // Whole grid (2 transports x 4 conditions) fanned out over
+  // LGSIM_BENCH_JOBS workers; row order and values match the serial loop.
+  std::vector<FctConfig> grid;
   for (Transport tr : {Transport::kDctcp, Transport::kRdmaWrite}) {
-    TablePrinter t({"Condition", "p50 (us)", "p99 (us)", "p99.9 (us)",
-                    "p99.99 (us)", "max (us)", "RTO trials"});
-    double p999_loss = 0, p999_noloss = 0;
     for (Protection pr : {Protection::kNoLoss, Protection::kLg,
                           Protection::kLgNb, Protection::kLossOnly}) {
       FctConfig c;
@@ -27,7 +28,19 @@ int main() {
       c.loss_rate = 1e-3;
       c.rate = gbps(100);
       c.seed = 1000 + static_cast<std::uint64_t>(pr);
-      const FctResult r = run_fct(c);
+      grid.push_back(c);
+    }
+  }
+  const std::vector<FctResult> results = run_fct_grid(grid);
+
+  std::size_t i = 0;
+  for (Transport tr : {Transport::kDctcp, Transport::kRdmaWrite}) {
+    TablePrinter t({"Condition", "p50 (us)", "p99 (us)", "p99.9 (us)",
+                    "p99.99 (us)", "max (us)", "RTO trials"});
+    double p999_loss = 0, p999_noloss = 0;
+    for (Protection pr : {Protection::kNoLoss, Protection::kLg,
+                          Protection::kLgNb, Protection::kLossOnly}) {
+      const FctResult& r = results[i++];
       if (pr == Protection::kNoLoss) p999_noloss = r.p(99.9);
       if (pr == Protection::kLossOnly) p999_loss = r.p(99.9);
       t.add_row({std::string(transport_name(tr)) + " (" + protection_name(pr) + ")",

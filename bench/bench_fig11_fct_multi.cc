@@ -1,6 +1,7 @@
 // Figure 11: top-5% FCT for 24,387 B (17-packet) flows on a 100G link,
 // DCTCP / BBR / RDMA WRITE, under four conditions.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/fct.h"
@@ -13,9 +14,10 @@ int main() {
 
   const std::int64_t trials = bench::scaled(50'000, 2'000);
 
+  // 3 transports x 4 conditions, fanned out over LGSIM_BENCH_JOBS workers;
+  // rows match the serial loop byte-for-byte.
+  std::vector<FctConfig> grid;
   for (Transport tr : {Transport::kDctcp, Transport::kBbr, Transport::kRdmaWrite}) {
-    TablePrinter t({"Condition", "p50 (us)", "p95 (us)", "p99 (us)",
-                    "p99.9 (us)", "max (us)", "e2e-retx trials", "RTO trials"});
     for (Protection pr : {Protection::kNoLoss, Protection::kLg,
                           Protection::kLgNb, Protection::kLossOnly}) {
       FctConfig c;
@@ -27,7 +29,18 @@ int main() {
       c.rate = gbps(100);
       c.seed = 2000 + static_cast<std::uint64_t>(pr) * 7 +
                static_cast<std::uint64_t>(tr) * 31;
-      const FctResult r = run_fct(c);
+      grid.push_back(c);
+    }
+  }
+  const std::vector<FctResult> results = run_fct_grid(grid);
+
+  std::size_t i = 0;
+  for (Transport tr : {Transport::kDctcp, Transport::kBbr, Transport::kRdmaWrite}) {
+    TablePrinter t({"Condition", "p50 (us)", "p95 (us)", "p99 (us)",
+                    "p99.9 (us)", "max (us)", "e2e-retx trials", "RTO trials"});
+    for (Protection pr : {Protection::kNoLoss, Protection::kLg,
+                          Protection::kLgNb, Protection::kLossOnly}) {
+      const FctResult& r = results[i++];
       t.add_row({std::string(transport_name(tr)) + " (" + protection_name(pr) + ")",
                  TablePrinter::fmt(r.p(50), 1), TablePrinter::fmt(r.p(95), 1),
                  TablePrinter::fmt(r.p(99), 1), TablePrinter::fmt(r.p(99.9), 1),

@@ -1,6 +1,7 @@
 // Figure 12: top-5% FCT for 2 MB DCTCP flows (Alibaba storage maximum) on a
 // 100G link with ~1e-3 loss.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "harness/fct.h"
@@ -15,6 +16,9 @@ int main() {
 
   TablePrinter t({"Condition", "p20 (us)", "p50 (us)", "p95 (us)", "p99 (us)",
                   "p99.9 (us)", "max (us)", "affected trials"});
+  // 4 conditions fanned out over LGSIM_BENCH_JOBS workers; rows match the
+  // serial loop byte-for-byte.
+  std::vector<FctConfig> grid;
   for (Protection pr : {Protection::kNoLoss, Protection::kLg, Protection::kLgNb,
                         Protection::kLossOnly}) {
     FctConfig c;
@@ -26,7 +30,14 @@ int main() {
     c.rate = gbps(100);
     c.inter_trial_gap = usec(50);
     c.seed = 3000 + static_cast<std::uint64_t>(pr);
-    const FctResult r = run_fct(c);
+    grid.push_back(c);
+  }
+  const std::vector<FctResult> results = run_fct_grid(grid);
+
+  std::size_t i = 0;
+  for (Protection pr : {Protection::kNoLoss, Protection::kLg, Protection::kLgNb,
+                        Protection::kLossOnly}) {
+    const FctResult& r = results[i++];
     t.add_row({protection_name(pr), TablePrinter::fmt(r.p(20), 1),
                TablePrinter::fmt(r.p(50), 1), TablePrinter::fmt(r.p(95), 1),
                TablePrinter::fmt(r.p(99), 1), TablePrinter::fmt(r.p(99.9), 1),

@@ -3,9 +3,11 @@
 // per ToR and least capacity per pod for CorrOpt vs LinkGuardian+CorrOpt at
 // 50% and 75% capacity constraints.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "corropt/corropt.h"
+#include "harness/parallel.h"
 #include "util/table.h"
 
 int main() {
@@ -19,11 +21,11 @@ int main() {
   const std::int32_t pods =
       static_cast<std::int32_t>(bench::scaled(260, 16));
 
+  // The four year-scale deployment runs (2 constraints x 2 strategies) are
+  // the wall-clock hot spot; fan them out over LGSIM_BENCH_JOBS workers.
+  harness::ParallelRunner<DeploymentConfig, DeploymentResult> runner(
+      [](const DeploymentConfig& c) { return run_deployment(c); });
   for (double constraint : {0.50, 0.75}) {
-    std::printf("\n--- Capacity constraint: %.0f%% ---\n", 100 * constraint);
-    TablePrinter t({"Strategy", "mean total penalty", "max total penalty",
-                    "min least-paths/ToR (%)", "min least-cap/pod (%)",
-                    "kept active", "disabled (fast+opt)", "max LG/switch"});
     for (bool lg : {false, true}) {
       DeploymentConfig c;
       c.topo = {.pods = pods, .tors_per_pod = 48, .fabrics_per_pod = 4,
@@ -34,7 +36,19 @@ int main() {
       c.use_linkguardian = lg;
       c.sample_period_hours = 1.0;
       c.seed = 7;  // same trace for both strategies
-      const DeploymentResult r = run_deployment(c);
+      runner.add(c.seed, c);
+    }
+  }
+  const std::vector<DeploymentResult> results = runner.run_in_grid_order();
+
+  std::size_t i = 0;
+  for (double constraint : {0.50, 0.75}) {
+    std::printf("\n--- Capacity constraint: %.0f%% ---\n", 100 * constraint);
+    TablePrinter t({"Strategy", "mean total penalty", "max total penalty",
+                    "min least-paths/ToR (%)", "min least-cap/pod (%)",
+                    "kept active", "disabled (fast+opt)", "max LG/switch"});
+    for (bool lg : {false, true}) {
+      const DeploymentResult& r = results[i++];
 
       double mean_penalty = 0, max_penalty = 0, min_paths = 1, min_cap = 1;
       for (const auto& s : r.samples) {

@@ -2,9 +2,11 @@
 // total penalty and (b) the decrease in least capacity per pod, comparing
 // LinkGuardian+CorrOpt against vanilla CorrOpt on the same corruption trace.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "corropt/corropt.h"
+#include "harness/parallel.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -16,20 +18,31 @@ int main() {
   const std::int32_t pods = static_cast<std::int32_t>(bench::scaled(130, 16));
   const double months = bench::scale() >= 1.0 ? 12.0 : 3.0;
 
+  // All four year-long runs (2 constraints x {vanilla, LG}) fanned out over
+  // LGSIM_BENCH_JOBS workers; the CDF pairing below consumes them in grid
+  // order, so output is byte-identical to the old serial calls.
+  harness::ParallelRunner<DeploymentConfig, DeploymentResult> runner(
+      [](const DeploymentConfig& c) { return run_deployment(c); });
   for (double constraint : {0.50, 0.75}) {
-    DeploymentConfig c;
-    c.topo = {.pods = pods, .tors_per_pod = 48, .fabrics_per_pod = 4,
-              .spines_per_plane = 48};
-    c.duration_hours = 24.0 * 30.4 * months;
-    c.mttf_hours = 10'000;
-    c.capacity_constraint = constraint;
-    c.sample_period_hours = 2.0;
-    c.seed = 11;
+    for (bool lg : {false, true}) {
+      DeploymentConfig c;
+      c.topo = {.pods = pods, .tors_per_pod = 48, .fabrics_per_pod = 4,
+                .spines_per_plane = 48};
+      c.duration_hours = 24.0 * 30.4 * months;
+      c.mttf_hours = 10'000;
+      c.capacity_constraint = constraint;
+      c.sample_period_hours = 2.0;
+      c.seed = 11;
+      c.use_linkguardian = lg;
+      runner.add(c.seed, c);
+    }
+  }
+  const std::vector<DeploymentResult> results = runner.run_in_grid_order();
 
-    c.use_linkguardian = false;
-    const DeploymentResult vanilla = run_deployment(c);
-    c.use_linkguardian = true;
-    const DeploymentResult with_lg = run_deployment(c);
+  std::size_t ri = 0;
+  for (double constraint : {0.50, 0.75}) {
+    const DeploymentResult& vanilla = results[ri++];
+    const DeploymentResult& with_lg = results[ri++];
 
     const std::size_t n = std::min(vanilla.samples.size(), with_lg.samples.size());
     PercentileTracker gain;         // penalty_vanilla / penalty_lg

@@ -61,4 +61,10 @@ struct FctResult {
 
 FctResult run_fct(const FctConfig& cfg);
 
+/// Runs a whole grid of FCT configurations, fanned out over LGSIM_BENCH_JOBS
+/// workers (see harness/parallel.h). Each replication gets its own
+/// Simulator/Rng; results come back in submission order and are
+/// byte-identical to calling run_fct serially, for any worker count.
+std::vector<FctResult> run_fct_grid(const std::vector<FctConfig>& cfgs);
+
 }  // namespace lgsim::harness

@@ -1,0 +1,43 @@
+// Keyed per-replication results for sweep-style experiments.
+//
+// A sweep grid is a list of {seed, config} replications. Each replication is
+// fully independent (its own Simulator and Rng), so it can run on any worker
+// in any order; the key restores a canonical order afterwards. Sorting merged
+// results on (seed, config_index) — with config_index the position in the
+// submitted grid — is a total order independent of worker count and
+// scheduling, which is what makes parallel output byte-identical to serial.
+#pragma once
+
+#include <cstdint>
+#include <tuple>
+
+namespace lgsim::harness {
+
+/// Identifies one replication of a sweep grid.
+struct RunKey {
+  std::uint64_t seed = 0;
+  /// Position of the replication's config in the submitted grid.
+  std::size_t config_index = 0;
+
+  friend bool operator==(const RunKey& a, const RunKey& b) {
+    return a.seed == b.seed && a.config_index == b.config_index;
+  }
+  friend bool operator<(const RunKey& a, const RunKey& b) {
+    return std::tie(a.seed, a.config_index) <
+           std::tie(b.seed, b.config_index);
+  }
+};
+
+/// One replication's merged output: the key it ran under plus whatever the
+/// run function returned (StressResult, FctResult, histogram chunk, ...).
+template <typename Value>
+struct RunResult {
+  RunKey key;
+  Value value;
+
+  friend bool operator<(const RunResult& a, const RunResult& b) {
+    return a.key < b.key;
+  }
+};
+
+}  // namespace lgsim::harness

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "harness/parallel.h"
+
 namespace lgsim::harness {
 
 StressResult run_stress(const StressConfig& cfg) {
@@ -130,6 +132,28 @@ StressResult run_stress_with_config(const StressConfig& cfg) {
   // Move the distribution trackers out.
   res.retx_delay_us = link.receiver().mutable_stats().retx_delay_us;
   return res;
+}
+
+namespace {
+
+std::vector<StressResult> run_grid_with(
+    const std::vector<StressConfig>& cfgs,
+    StressResult (*runner)(const StressConfig&)) {
+  ParallelRunner<StressConfig, StressResult> pool(
+      [runner](const StressConfig& c) { return runner(c); });
+  for (const StressConfig& c : cfgs) pool.add(c.seed, c);
+  return pool.run_in_grid_order();
+}
+
+}  // namespace
+
+std::vector<StressResult> run_stress_grid(const std::vector<StressConfig>& cfgs) {
+  return run_grid_with(cfgs, &run_stress);
+}
+
+std::vector<StressResult> run_stress_with_config_grid(
+    const std::vector<StressConfig>& cfgs) {
+  return run_grid_with(cfgs, &run_stress_with_config);
 }
 
 }  // namespace lgsim::harness

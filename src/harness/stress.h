@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "lg/link.h"
 #include "net/loss_model.h"
@@ -70,5 +71,15 @@ StressResult run_stress(const StressConfig& cfg);
 /// Same, but uses cfg.lg verbatim (no per-rate tuning) — for ablations that
 /// sweep the dataplane parameters themselves.
 StressResult run_stress_with_config(const StressConfig& cfg);
+
+/// Runs a whole grid of stress configurations, fanned out over
+/// LGSIM_BENCH_JOBS workers (see harness/parallel.h). Each replication gets
+/// its own Simulator/Rng; results come back in submission order and are
+/// byte-identical to calling run_stress serially, for any worker count.
+std::vector<StressResult> run_stress_grid(const std::vector<StressConfig>& cfgs);
+
+/// Grid variant of run_stress_with_config (no per-rate tuning).
+std::vector<StressResult> run_stress_with_config_grid(
+    const std::vector<StressConfig>& cfgs);
 
 }  // namespace lgsim::harness

@@ -43,7 +43,15 @@ class Simulator {
   }
 
   /// Cancel a previously scheduled event. Safe to call with an id that has
-  /// already fired or been cancelled (no-op). O(1): lazy deletion.
+  /// already fired or been cancelled (no-op: ids are never reused, so a stale
+  /// id can never match a later event). O(1): lazy deletion — the id is
+  /// remembered and the event skipped when it reaches the top of the heap.
+  ///
+  /// Interaction with the (time, sequence) ordering contract: events at the
+  /// same timestamp run in schedule order, so a callback can only cancel
+  /// same-timestamp events that were scheduled *after* the currently running
+  /// one; events scheduled earlier at that timestamp have already fired and
+  /// cancelling them is a no-op. See sim_test.cc (Cancel* tests).
   void cancel(EventId id) {
     if (id != 0) cancelled_.push_back(id);
   }

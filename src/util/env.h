@@ -1,0 +1,48 @@
+// Environment-variable parsing shared by the bench binaries and harnesses.
+//
+// The knobs (LGSIM_BENCH_SCALE, LGSIM_BENCH_JOBS) feed directly into loop
+// bounds and thread counts, so the parsers are strict: anything that is not a
+// finite value in range — including "nan", "inf", overflow, or trailing
+// garbage — falls back to the default instead of leaking into the run.
+#pragma once
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace lgsim {
+
+/// Parses a strictly positive, finite double. Returns `fallback` for null,
+/// empty, non-numeric, trailing garbage, NaN, infinity, or values <= 0.
+inline double parse_positive_double(const char* s, double fallback) {
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s) return fallback;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return fallback;
+    ++end;
+  }
+  if (!std::isfinite(v) || v <= 0.0) return fallback;
+  return v;
+}
+
+/// Parses a positive integer count (e.g. a worker count). Returns `fallback`
+/// for null, empty, non-numeric, trailing garbage, or values < 1; caps at
+/// `max` to keep a fat-fingered value from spawning thousands of threads.
+inline unsigned parse_positive_count(const char* s, unsigned fallback,
+                                     unsigned max = 1024) {
+  if (s == nullptr || *s == '\0') return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s) return fallback;
+  while (*end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return fallback;
+    ++end;
+  }
+  if (v < 1) return fallback;
+  if (v > static_cast<long>(max)) return max;
+  return static_cast<unsigned>(v);
+}
+
+}  // namespace lgsim

@@ -28,6 +28,25 @@ class RunningStats {
   double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
   double stddev() const { return std::sqrt(variance()); }
 
+  /// Folds another accumulator in, as if its samples had been added here
+  /// (Chan et al. parallel Welford update). Used to reduce per-worker
+  /// accumulators after a parallel replication sweep.
+  void merge(const RunningStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const std::int64_t n = n_ + o.n_;
+    const double delta = o.mean_ - mean_;
+    m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                       static_cast<double>(o.n_) / static_cast<double>(n);
+    mean_ += delta * static_cast<double>(o.n_) / static_cast<double>(n);
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    n_ = n;
+  }
+
   void reset() { *this = RunningStats{}; }
 
  private:
@@ -88,6 +107,14 @@ class PercentileTracker {
     return samples_;
   }
 
+  /// Folds another tracker's samples in. Percentiles over the merged set are
+  /// identical regardless of merge order (queries sort the union), which is
+  /// what lets per-worker trackers be reduced at join deterministically.
+  void merge(const PercentileTracker& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sorted_ = samples_.empty();
+  }
+
   void reset() { samples_.clear(); sorted_ = true; }
 
  private:
@@ -127,6 +154,14 @@ class CountHistogram {
     for (std::int64_t i = 0; i <= v && static_cast<std::size_t>(i) < bins_.size(); ++i)
       c += bins_[i];
     return static_cast<double>(c) / static_cast<double>(total_);
+  }
+
+  /// Folds another histogram in (bin-wise sum). Addition is commutative, so
+  /// any merge order yields the same histogram.
+  void merge(const CountHistogram& o) {
+    if (o.bins_.size() > bins_.size()) bins_.resize(o.bins_.size(), 0);
+    for (std::size_t i = 0; i < o.bins_.size(); ++i) bins_[i] += o.bins_[i];
+    total_ += o.total_;
   }
 
   void reset() { bins_.clear(); total_ = 0; }

@@ -1,6 +1,7 @@
 // Time-series recorder for timeline experiments (Figs. 9 and 21).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,16 @@ class TimeSeries {
     for (const auto& x : samples_)
       if (x.time >= from && x.time < to && x.value > m) m = x.value;
     return m;
+  }
+
+  /// Folds another series in, keeping samples sorted by time (ties keep this
+  /// series' samples first — a stable, scheduling-independent order). Lets
+  /// per-worker timelines from a replication sweep be reduced at join.
+  void merge(const TimeSeries& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    std::stable_sort(
+        samples_.begin(), samples_.end(),
+        [](const Sample& a, const Sample& b) { return a.time < b.time; });
   }
 
   void reset() { samples_.clear(); }

@@ -70,6 +70,84 @@ TEST(Simulator, CancelIsIdempotentAndSafeOnZero) {
   EXPECT_EQ(sim.run(), 0u);
 }
 
+TEST(Simulator, CancelAfterFireIsNoOpForLaterEvents) {
+  // Ids are never reused, so cancelling an id that already fired must not
+  // suppress any event scheduled afterwards (lazy deletion keeps the stale
+  // id around; it can never match).
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(10, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.cancel(id);  // stale: the event already executed
+  for (int i = 0; i < 5; ++i) sim.schedule_at(20 + i, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 6);
+}
+
+TEST(Simulator, CancelTwiceOnFiredIdStaysNoOp) {
+  Simulator sim;
+  int fired = 0;
+  const auto id = sim.schedule_at(5, [&] { ++fired; });
+  sim.run();
+  sim.cancel(id);
+  sim.cancel(id);  // double-cancel of a fired id: still a no-op
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(11, [&] { ++fired; });
+  EXPECT_EQ(sim.run(), 2u);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, CancelFromEventAtSameTimestampHitsLaterScheduledOnly) {
+  // The (time, sequence) contract: events at the same timestamp run in
+  // schedule order. A callback can therefore cancel a same-timestamp event
+  // scheduled after itself...
+  Simulator sim;
+  std::vector<int> order;
+  Simulator::EventId victim = 0;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.cancel(victim);
+  });
+  victim = sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(Simulator, CancelOfEarlierEventAtSameTimestampIsTooLate) {
+  // ...but cancelling a same-timestamp event scheduled *before* the running
+  // one is a no-op: by the sequence ordering it has already fired.
+  Simulator sim;
+  std::vector<int> order;
+  const auto first = sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(10, [&] {
+    order.push_back(2);
+    sim.cancel(first);  // too late; no effect now or later
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, InterleavedCancelAndScheduleAtSameTimestamp) {
+  // A callback that cancels one pending event and schedules a replacement at
+  // the very same timestamp: the replacement runs (after all events already
+  // queued at that timestamp), the cancelled one does not.
+  Simulator sim;
+  std::vector<int> order;
+  Simulator::EventId stale = 0;
+  sim.schedule_at(10, [&] {
+    order.push_back(1);
+    sim.cancel(stale);
+    sim.schedule_at(10, [&] { order.push_back(4); });  // runs last: higher seq
+  });
+  stale = sim.schedule_at(10, [&] { order.push_back(2); });
+  sim.schedule_at(10, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+  EXPECT_EQ(sim.now(), 10);
+}
+
 TEST(Simulator, EventsScheduledDuringRunExecute) {
   Simulator sim;
   int depth = 0;

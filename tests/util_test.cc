@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "util/env.h"
 #include "util/stats.h"
 #include "util/table.h"
 #include "util/timeseries.h"
@@ -122,6 +123,135 @@ TEST(RateMeter, ComputesGbps) {
   ASSERT_GE(m.series().size(), 2u);
   EXPECT_DOUBLE_EQ(m.series().samples()[0].value, 100.0);
   EXPECT_DOUBLE_EQ(m.series().samples()[1].value, 10.0);
+}
+
+TEST(EnvParse, PositiveDoubleAcceptsNormalValues) {
+  EXPECT_DOUBLE_EQ(parse_positive_double("0.1", 1.0), 0.1);
+  EXPECT_DOUBLE_EQ(parse_positive_double("10", 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("2.5e-1", 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(parse_positive_double("3 ", 1.0), 3.0);  // trailing space ok
+}
+
+TEST(EnvParse, PositiveDoubleRejectsNanAndInf) {
+  // std::atof would let these straight into loop bounds (LGSIM_BENCH_SCALE);
+  // the parser must fall back instead.
+  EXPECT_DOUBLE_EQ(parse_positive_double("nan", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("NaN", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("inf", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("-inf", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("Infinity", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("1e999", 1.0), 1.0);  // overflows to inf
+}
+
+TEST(EnvParse, PositiveDoubleRejectsGarbageZeroAndNegative) {
+  EXPECT_DOUBLE_EQ(parse_positive_double(nullptr, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("fast", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("0", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("-2", 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(parse_positive_double("1.5x", 1.0), 1.0);  // trailing junk
+}
+
+TEST(EnvParse, PositiveCount) {
+  EXPECT_EQ(parse_positive_count("8", 4), 8u);
+  EXPECT_EQ(parse_positive_count("1", 4), 1u);
+  EXPECT_EQ(parse_positive_count(nullptr, 4), 4u);
+  EXPECT_EQ(parse_positive_count("0", 4), 4u);
+  EXPECT_EQ(parse_positive_count("-3", 4), 4u);
+  EXPECT_EQ(parse_positive_count("many", 4), 4u);
+  EXPECT_EQ(parse_positive_count("7.5", 4), 4u);      // trailing junk
+  EXPECT_EQ(parse_positive_count("999999", 4), 1024u);  // capped
+}
+
+TEST(RunningStats, MergeMatchesSingleAccumulator) {
+  RunningStats all, a, b;
+  for (int i = 1; i <= 10; ++i) {
+    all.add(i);
+    (i <= 4 ? a : b).add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.merge(a);  // adopt
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+}
+
+TEST(PercentileTracker, MergeIsOrderIndependent) {
+  PercentileTracker all, a, b;
+  for (int i = 1; i <= 100; ++i) {
+    all.add(i);
+    (i % 3 == 0 ? a : b).add(i);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(a.percentile(p), all.percentile(p));
+  }
+  EXPECT_DOUBLE_EQ(a.cdf_at(50.0), all.cdf_at(50.0));
+}
+
+TEST(PercentileTracker, MergeAfterQueryResorts) {
+  PercentileTracker a, b;
+  a.add(5.0);
+  EXPECT_DOUBLE_EQ(a.percentile(50), 5.0);  // forces sort
+  b.add(1.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 5.0);
+}
+
+TEST(CountHistogram, MergeSumsBins) {
+  CountHistogram a, b;
+  a.add(1);
+  a.add(3);
+  b.add(3);
+  b.add(7, 2);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 5);
+  EXPECT_EQ(a.count_at(1), 1);
+  EXPECT_EQ(a.count_at(3), 2);
+  EXPECT_EQ(a.count_at(7), 2);
+  EXPECT_EQ(a.max_value(), 7);
+  // Merging the longer histogram into the shorter grew the bins; the other
+  // direction must give the same result.
+  CountHistogram c, d;
+  c.add(7, 2);
+  d.add(1);
+  c.merge(d);
+  EXPECT_EQ(c.total(), 3);
+  EXPECT_EQ(c.count_at(1), 1);
+  EXPECT_EQ(c.max_value(), 7);
+}
+
+TEST(TimeSeries, MergeKeepsTimeOrder) {
+  TimeSeries a, b;
+  a.record(10, 1.0);
+  a.record(30, 3.0);
+  b.record(20, 2.0);
+  b.record(30, 4.0);
+  a.merge(b);
+  ASSERT_EQ(a.size(), 4u);
+  EXPECT_EQ(a.samples()[0].time, 10);
+  EXPECT_EQ(a.samples()[1].time, 20);
+  EXPECT_EQ(a.samples()[2].time, 30);
+  EXPECT_DOUBLE_EQ(a.samples()[2].value, 3.0);  // ties: this series first
+  EXPECT_DOUBLE_EQ(a.samples()[3].value, 4.0);
+  EXPECT_DOUBLE_EQ(a.mean_in(0, 25), 1.5);
 }
 
 TEST(TablePrinter, FormatsNumbers) {
