@@ -14,7 +14,8 @@
 #include "lg/config.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Ablation", "Recirculation loop latency (Tofino -> Tofino2), 100G @ 1e-3");

@@ -9,9 +9,14 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "harness/parallel.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace lgsim::bench {
@@ -40,5 +45,57 @@ inline void banner(const char* id, const char* title) {
 /// Worker count for replication sweeps (LGSIM_BENCH_JOBS). Deliberately not
 /// printed in banner(): output must stay byte-identical across job counts.
 inline unsigned jobs() { return harness::bench_jobs(); }
+
+/// Per-binary trace capture: construct first thing in main(). Activated by
+/// `--trace=<path>` or LGSIM_TRACE=<path> (flag wins); otherwise inert.
+///
+/// When active it installs a process-global obs::TraceCollector plus a "main"
+/// sink for code running on the main thread; harness::ParallelRunner then
+/// adds one sink per replication cell in grid order. The destructor writes
+/// everything as Chrome trace-event JSON (open the file in Perfetto /
+/// chrome://tracing). The completion note goes to stderr: stdout rows must
+/// stay byte-identical whether or not a trace is being captured.
+///
+/// Ring capacity per sink is LGSIM_TRACE_CAP records (default 65536; the
+/// ring keeps the newest records and the export reports how many were
+/// evicted).
+class TraceSession {
+ public:
+  TraceSession(int argc, char** argv) {
+    if (const char* env = std::getenv("LGSIM_TRACE"); env != nullptr && *env)
+      path_ = env;
+    for (int i = 1; i < argc; ++i) {
+      const std::string_view a = argv[i] != nullptr ? argv[i] : "";
+      if (a.rfind("--trace=", 0) == 0) path_ = std::string(a.substr(8));
+    }
+    if (path_.empty()) return;
+    const auto cap = static_cast<std::size_t>(parse_positive_double(
+        std::getenv("LGSIM_TRACE_CAP"),
+        static_cast<double>(obs::kDefaultRingCapacity)));
+    collector_.emplace(cap);
+    collector_->install();
+    scope_.emplace(collector_->make_sink("main"));
+  }
+
+  ~TraceSession() {
+    if (!collector_.has_value()) return;
+    scope_.reset();
+    collector_->uninstall();
+    std::ofstream os(path_, std::ios::binary);
+    obs::write_chrome_trace(os, *collector_);
+    std::fprintf(stderr, "trace: wrote %s (%zu sinks)\n", path_.c_str(),
+                 collector_->sink_count());
+  }
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  bool active() const { return collector_.has_value(); }
+
+ private:
+  std::string path_;
+  std::optional<obs::TraceCollector> collector_;
+  std::optional<obs::SinkScope> scope_;
+};
 
 }  // namespace lgsim::bench

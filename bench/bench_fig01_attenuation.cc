@@ -7,7 +7,8 @@
 #include "phy/optical.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   bench::banner("Figure 1", "Effect of optical attenuation on Ethernet link speeds");
 

@@ -10,7 +10,8 @@
 #include "lg/config.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using harness::StressConfig;
   using harness::StressResult;

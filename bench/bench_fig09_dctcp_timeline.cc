@@ -35,7 +35,8 @@ void print_run(const lgsim::harness::TimelineResult& r, const char* title) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 9", "DCTCP on a 25G link with 1e-3 loss: LinkGuardian timeline");

@@ -7,7 +7,8 @@
 #include "harness/fct.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 10", "Top 1% FCTs for 143B flows on a 100G link");

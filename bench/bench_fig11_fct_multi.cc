@@ -7,7 +7,8 @@
 #include "harness/fct.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 11", "Top 5% FCTs for 24,387B flows (17 packets) on 100G");

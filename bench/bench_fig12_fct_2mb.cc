@@ -7,7 +7,8 @@
 #include "harness/fct.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 12", "Top 5% FCTs for 2MB DCTCP flows on a 100G link");

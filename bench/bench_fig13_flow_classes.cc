@@ -6,7 +6,8 @@
 #include "harness/fct.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 13", "Classification of affected 24,387B DCTCP flows (LG_NB)");

@@ -7,7 +7,8 @@
 #include "harness/stress.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 14", "Packet buffer usage (KB): min/p25/p50/p75/max");

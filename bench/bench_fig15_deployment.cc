@@ -10,7 +10,8 @@
 #include "harness/parallel.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::corropt;
   bench::banner("Figure 15", "Deployment snapshot, FB fabric (~100K links)");

@@ -10,7 +10,8 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::corropt;
   bench::banner("Figure 16", "1-year deployment CDFs: penalty gain & capacity cost");

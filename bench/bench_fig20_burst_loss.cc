@@ -8,7 +8,8 @@
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   bench::banner("Figure 20", "Consecutive packets lost (CDF %), 1518B frames");
 

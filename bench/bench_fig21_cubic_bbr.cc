@@ -39,7 +39,8 @@ void run_one(lgsim::harness::Transport tr, lgsim::BitRate rate, const char* titl
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Figure 21", "CUBIC (25G) and BBR (10G) timelines with 1e-3 loss");

@@ -28,7 +28,8 @@ struct ChunkResult {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::corropt;
   bench::banner("Table 1", "Corruption loss-rate buckets (Microsoft DCs) & sampler");

@@ -7,7 +7,8 @@
 #include "harness/fct.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Table 2", "Top 1% FCT (us) for 24,387B DCTCP flows, mechanism ablation");

@@ -74,7 +74,8 @@ double run_goodput(Scheme scheme, double loss_rate, SimTime duration) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   bench::banner("Table 3", "TCP CUBIC goodput (Gb/s) on a 10G link");
 

@@ -6,7 +6,8 @@
 #include "harness/stress.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  lgsim::bench::TraceSession trace_session(argc, argv);
   using namespace lgsim;
   using namespace lgsim::harness;
   bench::banner("Table 4", "Recirculation overhead (% of pipe forwarding capacity)");

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "harness/run_result.h"
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace lgsim::harness {
@@ -162,10 +163,35 @@ class ParallelRunner {
     std::vector<std::vector<RunResult<Value>>> acc(
         workers > 1 ? workers : 1);
 
+    // Per-cell trace sinks, when a bench installed a TraceCollector. All
+    // sinks are allocated here on the main thread, before any worker spawns
+    // and in grid-submission order, so the exported trace is byte-identical
+    // for any worker count: a cell's ring depends only on its deterministic
+    // simulation, and sink order depends only on submission order. Each cell
+    // runs under a SinkScope for its own sink (one thread at a time — no
+    // synchronization needed); worker threads start with a null thread-local
+    // sink, so untraced runs are unaffected.
+    std::vector<obs::TraceSink*> sinks;
+    if (obs::TraceCollector* col = obs::TraceCollector::active()) {
+      sinks.reserve(grid_.size());
+      for (const Cell& c : grid_) {
+        sinks.push_back(
+            col->make_sink("cell " + std::to_string(c.key.config_index) +
+                           " seed=" + std::to_string(c.key.seed)));
+      }
+    }
+    auto run_one = [&](std::size_t i) {
+      if (!sinks.empty()) {
+        obs::SinkScope scope(sinks[i]);
+        return fn_(grid_[i].cfg);
+      }
+      return fn_(grid_[i].cfg);
+    };
+
     if (workers <= 1) {
       acc[0].reserve(grid_.size());
-      for (const Cell& c : grid_) {
-        acc[0].push_back(RunResult<Value>{c.key, fn_(c.cfg)});
+      for (std::size_t i = 0; i < grid_.size(); ++i) {
+        acc[0].push_back(RunResult<Value>{grid_[i].key, run_one(i)});
       }
     } else {
       std::atomic<std::size_t> next{0};
@@ -179,7 +205,7 @@ class ParallelRunner {
               const std::size_t i =
                   next.fetch_add(1, std::memory_order_relaxed);
               if (i >= grid_.size()) return;
-              acc[w].push_back(RunResult<Value>{grid_[i].key, fn_(grid_[i].cfg)});
+              acc[w].push_back(RunResult<Value>{grid_[i].key, run_one(i)});
             }
           } catch (...) {
             errors[w] = std::current_exception();

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "harness/parallel.h"
+#include "obs/trace.h"
 
 namespace lgsim::harness {
 
@@ -44,6 +45,24 @@ StressResult run_stress_with_config(const StressConfig& cfg) {
 
   if (cfg.enable_lg) link.enable_lg();
 
+  // Trace counter series, interned once up front (all ids are 0 when no sink
+  // is installed and the emits below are no-ops). The sampler publishes one
+  // sample per series per period, spanning every subsystem category so a
+  // single stress trace paints the whole picture in Perfetto: event-loop
+  // health (sim), LG buffer occupancy (lg), backpressure state (pfc),
+  // offered/delivered load (transport), and the control-plane loss estimate
+  // a corruptd poll of this port would compute (monitor).
+  const bool tracing = obs::current_sink() != nullptr;
+  const std::uint32_t tr_heap = obs::intern_actor("sim.pending_events");
+  const std::uint32_t tr_exec = obs::intern_actor("sim.events_executed");
+  const std::uint32_t tr_txbuf = obs::intern_actor("lg.tx_buffer_bytes");
+  const std::uint32_t tr_rxbuf = obs::intern_actor("lg.rx_buffer_bytes");
+  const std::uint32_t tr_paused = obs::intern_actor("pfc.backpressured");
+  const std::uint32_t tr_offered = obs::intern_actor("transport.offered_frames");
+  const std::uint32_t tr_fwd = obs::intern_actor("transport.forwarded_frames");
+  const std::uint32_t tr_loss = obs::intern_actor("monitor.wire_loss_ppm");
+  const std::uint32_t tr_flow = obs::intern_actor("stress.injector");
+
   // Inject at exactly line rate (fractional nanosecond pacing), one
   // self-rescheduling event so the heap stays O(1) regardless of run length.
   const double spacing =
@@ -52,6 +71,9 @@ StressResult run_stress_with_config(const StressConfig& cfg) {
   std::int64_t sent = 0;
   std::function<void()> inject = [&] {
     if (sent >= cfg.packets) return;
+    if (sent == 0)
+      obs::emit(sim.now(), obs::Cat::kTransport, obs::Kind::kFlowStart,
+                tr_flow, cfg.packets * cfg.frame_bytes, cfg.packets);
     net::Packet p;
     p.kind = net::PktKind::kData;
     p.frame_bytes = cfg.frame_bytes;
@@ -61,15 +83,37 @@ StressResult run_stress_with_config(const StressConfig& cfg) {
     if (sent < cfg.packets) {
       sim.schedule_at(static_cast<SimTime>(spacing * static_cast<double>(sent)),
                       [&] { inject(); });
+    } else {
+      obs::emit(sim.now(), obs::Cat::kTransport, obs::Kind::kFlowEnd, tr_flow,
+                sent * cfg.frame_bytes, sent);
     }
   };
   sim.schedule_at(0, [&] { inject(); });
   res.offered_pkts = cfg.packets;
 
   // Periodic buffer sampling (what the control-plane API polls for Fig. 14).
-  PeriodicTask sampler(sim, cfg.sample_period, [&](SimTime) {
+  PeriodicTask sampler(sim, cfg.sample_period, [&](SimTime now) {
     res.tx_buffer_bytes.add(static_cast<double>(link.sender().tx_buffer_bytes()));
     res.rx_buffer_bytes.add(static_cast<double>(link.receiver().reorder_buffer_bytes()));
+    if (tracing) {
+      obs::emit_counter(now, obs::Cat::kSim, tr_heap,
+                        static_cast<std::int64_t>(sim.pending()));
+      obs::emit_counter(now, obs::Cat::kSim, tr_exec,
+                        static_cast<std::int64_t>(sim.total_executed()));
+      obs::emit_counter(now, obs::Cat::kLg, tr_txbuf,
+                        link.sender().tx_buffer_bytes());
+      obs::emit_counter(now, obs::Cat::kLg, tr_rxbuf,
+                        link.receiver().reorder_buffer_bytes());
+      obs::emit_counter(now, obs::Cat::kPfc, tr_paused,
+                        link.receiver().backpressured() ? 1 : 0);
+      obs::emit_counter(now, obs::Cat::kTransport, tr_offered, sent);
+      obs::emit_counter(now, obs::Cat::kTransport, tr_fwd, res.forwarded);
+      // What corruptd would estimate from this port's counters (ppm).
+      const auto& pc = link.forward_port().counters();
+      const std::int64_t all = pc.corrupted_frames + pc.delivered_frames;
+      obs::emit_counter(now, obs::Cat::kMonitor, tr_loss,
+                        all > 0 ? pc.corrupted_frames * 1'000'000 / all : 0);
+    }
   });
   sampler.start(cfg.sample_period);
   const SimTime horizon =
@@ -127,6 +171,25 @@ StressResult run_stress_with_config(const StressConfig& cfg) {
     res.recirc_overhead_rx_frac =
         static_cast<double>(rs.recirc_loops) / to_sec(res.elapsed) /
         lgc.pipe_capacity_pps;
+  }
+
+  // Final metrics snapshot into the run's sink: the components die with this
+  // function, so their counters are pushed (not polled) into the registry
+  // the per-cell sink keeps alive until export.
+  if (obs::TraceSink* sink = obs::current_sink()) {
+    obs::MetricsRegistry& m = sink->metrics();
+    sim.export_metrics(m);
+    link.forward_port().export_metrics(m);
+    link.reverse_port().export_metrics(m);
+    m.counter("stress.offered_pkts") = res.offered_pkts;
+    m.counter("stress.forwarded") = res.forwarded;
+    m.counter("stress.corrupted_frames") = res.corrupted_frames;
+    m.counter("lg.retx_copies_sent") = ss.retx_copies_sent;
+    m.counter("lg.recovered") = rs.recovered;
+    m.counter("lg.effectively_lost") = rs.effectively_lost;
+    m.counter("lg.timeouts") = rs.timeouts;
+    m.counter("lg.pauses_sent") = rs.pauses_sent;
+    m.counter("lg.resumes_sent") = rs.resumes_sent;
   }
 
   // Move the distribution trackers out.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace lgsim::lg {
 
 LgReceiver::LgReceiver(Simulator& sim, const LgConfig& cfg,
@@ -14,7 +16,8 @@ LgReceiver::LgReceiver(Simulator& sim, const LgConfig& cfg,
       ctrl_q_(ctrl_q),
       rev_normal_q_(rev_normal_q),
       ack_q_(ack_q),
-      jitter_(cfg.jitter_seed ^ 0x9e3779b97f4a7c15ULL) {
+      jitter_(cfg.jitter_seed ^ 0x9e3779b97f4a7c15ULL),
+      trace_actor_(obs::intern_actor("lg/" + rev_port.name() + "/rcv")) {
   // Piggyback the freshest cumulative ACK on every reverse frame as it starts
   // serializing (§3.1). Explicit ACK packets get the same stamp.
   rev_port_.set_transmit_hook([this](net::Packet& p, int q) {
@@ -127,6 +130,8 @@ void LgReceiver::handle_protected(net::Packet&& p) {
     was_outstanding = true;
     ++stats_.recovered;
     stats_.retx_delay_us.add(to_usec(sim_.now() - it->second));
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kRecover, trace_actor_, v,
+              sim_.now() - it->second);
     outstanding_.erase(it);
   }
 
@@ -162,6 +167,8 @@ void LgReceiver::handle_protected(net::Packet&& p) {
       // backpressure is disabled) — the packet is lost to the endpoints.
       ++stats_.reorder_drops;
       ++stats_.effectively_lost;
+      obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kDrop, trace_actor_, v,
+                buffer_bytes_);
       // The hole it leaves will be skipped by the ackNo timeout machinery:
       // mark it skipped immediately so the stream is not stalled forever.
       skipped_.insert(v);
@@ -189,6 +196,8 @@ void LgReceiver::detect_gap(std::int64_t from, std::int64_t to) {
   ++stats_.gaps_detected;
   const std::int64_t count = to - from + 1;
   stats_.reported_lost += count;
+  obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kGapDetect, trace_actor_,
+            from, to);
   for (std::int64_t v = from; v <= to; ++v) {
     outstanding_.emplace(v, sim_.now());
     arm_timeout(v);
@@ -197,6 +206,8 @@ void LgReceiver::detect_gap(std::int64_t from, std::int64_t to) {
 }
 
 void LgReceiver::send_notification(std::int64_t from, std::int64_t count) {
+  obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kLossNotif, trace_actor_,
+            from, count, /*aux=sent*/ 0);
   for (int c = 0; c < cfg_.loss_notif_copies; ++c) {
     net::Packet n = net::make_control(net::PktKind::kLgLossNotif);
     const SeqEra wire = to_wire(from);
@@ -227,6 +238,7 @@ void LgReceiver::on_timeout(std::int64_t v) {
     return;
   }
   ++stats_.timeouts;
+  obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kTimeout, trace_actor_, v);
   // Ignore the lost packet and move on (§3.5 "Preventing transmission
   // stalls"): the hole is skipped and any buffered successors drain.
   skipped_.insert(v);
@@ -301,6 +313,8 @@ void LgReceiver::schedule_release() {
     stats_.recirc_loops += loops;
     stats_.recirc_loop_bytes += loops * b2.pkt.frame_bytes;
     last_release_ = sim_.now();
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kBufferRelease,
+              trace_actor_, ack_no_v_, buffer_bytes_, /*aux=rx buffer*/ 1);
     forward_now(std::move(b2.pkt));
     ++ack_no_v_;
     backpressure_check();
@@ -314,11 +328,15 @@ void LgReceiver::backpressure_check() {
   if (buffer_bytes_ >= cfg_.pause_threshold && !bp_paused_) {
     bp_paused_ = true;
     ++stats_.pauses_sent;
+    obs::emit(sim_.now(), obs::Cat::kPfc, obs::Kind::kPause, trace_actor_,
+              buffer_bytes_, 0, /*aux=sent*/ 0);
     send_pfc(true);
     arm_pfc_refresh();
   } else if (buffer_bytes_ <= cfg_.resume_threshold && bp_paused_) {
     bp_paused_ = false;
     ++stats_.resumes_sent;
+    obs::emit(sim_.now(), obs::Cat::kPfc, obs::Kind::kResume, trace_actor_,
+              buffer_bytes_, 0, /*aux=sent*/ 0);
     send_pfc(false);
     // Repeat the resume a few refresh periods (the timer-packet stream keeps
     // carrying the state on hardware) so a corrupted resume frame cannot

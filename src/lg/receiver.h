@@ -80,6 +80,9 @@ class LgReceiver {
   /// info is piggybacked onto it at serialization time.
   void send_reverse(net::Packet p);
 
+  /// PFC backpressure currently asserted toward the sender (Algorithm 2).
+  bool backpressured() const { return bp_paused_; }
+
   std::int64_t reorder_buffer_bytes() const { return buffer_bytes_; }
   std::int64_t reorder_buffer_pkts() const { return static_cast<std::int64_t>(buffer_.size()); }
   void sample_buffers() { stats_.rx_buffer_bytes.add(static_cast<double>(buffer_bytes_)); }
@@ -145,6 +148,7 @@ class LgReceiver {
   SimTime last_release_ = -1;
   Rng jitter_;
   Stats stats_;
+  std::uint32_t trace_actor_ = 0;  // obs actor id, interned at construction
 };
 
 }  // namespace lgsim::lg

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace lgsim::lg {
 
 LgSender::LgSender(Simulator& sim, const LgConfig& cfg, net::EgressPort& port,
@@ -12,7 +14,8 @@ LgSender::LgSender(Simulator& sim, const LgConfig& cfg, net::EgressPort& port,
       retx_q_(retx_q),
       normal_q_(normal_q),
       dummy_q_(dummy_q),
-      jitter_(cfg.jitter_seed) {
+      jitter_(cfg.jitter_seed),
+      trace_actor_(obs::intern_actor("lg/" + port.name() + "/snd")) {
   port_.set_transmit_hook([this](net::Packet& p, int q) { on_transmit(p, q); });
 }
 
@@ -83,9 +86,13 @@ void LgSender::handle_reverse(const net::Packet& p) {
   if (p.pfc.valid) {
     if (p.pfc.pause) {
       ++stats_.pauses_received;
+      obs::emit(sim_.now(), obs::Cat::kPfc, obs::Kind::kPause, trace_actor_,
+                stats_.pauses_received, 0, /*aux=received*/ 1);
       port_.pause_queue(normal_q_);
     } else {
       ++stats_.resumes_received;
+      obs::emit(sim_.now(), obs::Cat::kPfc, obs::Kind::kResume, trace_actor_,
+                stats_.resumes_received, 0, /*aux=received*/ 1);
       port_.resume_queue(normal_q_);
     }
   }
@@ -102,6 +109,8 @@ void LgSender::handle_reverse(const net::Packet& p) {
     // registers; a wider gap can only mark that many (§3.5).
     const int markable =
         std::min<std::int64_t>(p.lg_notif.count, cfg_.max_consecutive_retx);
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kLossNotif, trace_actor_,
+              first, markable, /*aux=received*/ 1);
     if (p.lg_notif.count > markable)
       stats_.dropped_requests += p.lg_notif.count - markable;
     for (int i = 0; i < markable; ++i) {
@@ -123,6 +132,8 @@ void LgSender::handle_reverse(const net::Packet& p) {
     const std::int64_t v = resolve_virtual(
         SeqEra{p.lg_ack.latest_rx_seq, p.lg_ack.era},
         latest_rx_v_ >= 0 ? latest_rx_v_ : next_v_ - 1);
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kAck, trace_actor_, v,
+              latest_rx_v_, /*aux=received*/ 1);
     advance_latest_rx(v);
   }
 }
@@ -157,6 +168,7 @@ void LgSender::run_loop_check(std::int64_t v) {
     // Retransmit N copies through the highest-priority queue. The Tofino
     // uses the multicast primitive to emit all copies in one pass.
     const int n = cfg_.n_retx_copies();
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kRetx, trace_actor_, v, n);
     for (int i = 0; i < n; ++i) {
       net::Packet copy = b.copy;
       copy.lg.retransmitted = true;
@@ -166,6 +178,8 @@ void LgSender::run_loop_check(std::int64_t v) {
   }
   account_free(v, b);
   buffer_bytes_ -= b.copy.frame_bytes;
+  obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kBufferRelease, trace_actor_,
+            v, buffer_bytes_, /*aux=tx buffer*/ 0);
   buffer_.erase(it);
 }
 

@@ -114,6 +114,7 @@ class LgSender {
   std::int64_t buffer_bytes_ = 0;
   Rng jitter_;
   Stats stats_;
+  std::uint32_t trace_actor_ = 0;  // obs actor id, interned at construction
 };
 
 }  // namespace lgsim::lg

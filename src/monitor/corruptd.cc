@@ -1,6 +1,8 @@
 #include "monitor/corruptd.h"
 #include "monitor/fallback.h"
 
+#include "obs/trace.h"
+
 namespace lgsim::monitor {
 
 Corruptd::Corruptd(Simulator& sim, const CorruptdConfig& cfg, PubSubBus& bus)
@@ -26,6 +28,9 @@ void Corruptd::stop() {
 
 void Corruptd::poll(SimTime now) {
   ++polls_;
+  obs::emit(now, obs::Cat::kMonitor, obs::Kind::kPoll,
+            obs::intern_actor("corruptd"), polls_,
+            static_cast<std::int64_t>(ports_.size()));
   for (std::size_t i = 0; i < ports_.size(); ++i) {
     Window& w = windows_[i];
     const std::int64_t ok = ports_[i].frames_rx_ok();
@@ -49,6 +54,10 @@ void Corruptd::poll(SimTime now) {
                                   static_cast<double>(w.win_all);
     if (loss >= cfg_.threshold && !w.notified) {
       w.notified = true;
+      // Loss rate in parts-per-billion: trace records carry integers only.
+      obs::emit(now, obs::Cat::kMonitor, obs::Kind::kDetect,
+                obs::intern_actor(ports_[i].link_topic),
+                static_cast<std::int64_t>(loss * 1e9), w.win_all);
       bus_.publish({ports_[i].link_topic, loss, now});
     }
   }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "lg/config.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -131,6 +132,9 @@ class LgActivator {
                            topic](const PubSubBus::Notification& n) {
       const int copies = lg::retx_copies(n.loss_rate, target_);
       records_.push_back({topic, n.loss_rate, copies, n.at});
+      obs::emit(n.at, obs::Cat::kMonitor, obs::Kind::kActivate,
+                obs::intern_actor(topic),
+                static_cast<std::int64_t>(n.loss_rate * 1e9), copies);
       activate(copies);
     });
   }

@@ -26,6 +26,8 @@
 
 #include "net/loss_model.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -45,9 +47,18 @@ class EgressPort {
     std::int64_t ecn_threshold = -1;
   };
 
+  /// Per-priority-queue accounting. Conservation invariant (asserted in
+  /// net_test.cc): enq_frames == deq_frames + frames in the fifo, and
+  /// enq_bytes == deq_bytes + queued bytes — enqueues (including replenish
+  /// re-arms) either dequeue toward the wire or are still in flight; tail
+  /// drops are counted separately and never consume queue state.
   struct QueueCounters {
-    std::int64_t enq_frames = 0;
+    std::int64_t enq_frames = 0;    // accepted into the fifo (incl. replenish)
+    std::int64_t enq_bytes = 0;     // frame bytes accepted
     std::int64_t drop_frames = 0;   // tail drops from byte limit
+    std::int64_t drop_bytes = 0;
+    std::int64_t deq_frames = 0;    // left the fifo toward the serializer
+    std::int64_t deq_bytes = 0;     // frame bytes at dequeue (pre-hook size)
     std::int64_t tx_frames = 0;
     std::int64_t tx_bytes = 0;      // wire bytes
     std::int64_t ecn_marked = 0;
@@ -72,7 +83,11 @@ class EgressPort {
 
  public:
   EgressPort(Simulator& sim, std::string name, BitRate rate, SimTime prop_delay)
-      : sim_(sim), name_(std::move(name)), rate_(rate), prop_delay_(prop_delay) {}
+      : sim_(sim),
+        name_(std::move(name)),
+        rate_(rate),
+        prop_delay_(prop_delay),
+        trace_actor_(obs::intern_actor(name_)) {}
 
   EgressPort(const EgressPort&) = delete;
   EgressPort& operator=(const EgressPort&) = delete;
@@ -101,6 +116,10 @@ class EgressPort {
     Queue& que = queues_.at(q);
     if (que.bytes + p.frame_bytes > que.opts.byte_limit) {
       ++que.counters.drop_frames;
+      que.counters.drop_bytes += p.frame_bytes;
+      obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kDrop, trace_actor_,
+                p.frame_bytes, static_cast<std::int64_t>(p.uid),
+                static_cast<std::uint16_t>(q));
       return false;
     }
     if (que.opts.ecn_threshold >= 0 && p.kind == PktKind::kData &&
@@ -110,6 +129,10 @@ class EgressPort {
     }
     que.bytes += p.frame_bytes;
     ++que.counters.enq_frames;
+    que.counters.enq_bytes += p.frame_bytes;
+    obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kEnqueue, trace_actor_,
+              p.frame_bytes, static_cast<std::int64_t>(p.uid),
+              static_cast<std::uint16_t>(q));
     que.fifo.push_back(std::move(p));
     maybe_start_tx();
     return true;
@@ -140,6 +163,33 @@ class EgressPort {
 
   const QueueCounters& queue_counters(int q) const { return queues_.at(q).counters; }
   const PortCounters& counters() const { return counters_; }
+  int num_queues() const { return static_cast<int>(queues_.size()); }
+
+  /// Pushes the port- and per-queue counters into a metrics registry under
+  /// `port.<name>` / `port.<name>.q<i>`.
+  void export_metrics(obs::MetricsRegistry& m) const {
+    const std::string base = "port." + name_;
+    m.counter(base + ".tx_frames") = counters_.tx_frames;
+    m.counter(base + ".tx_wire_bytes") = counters_.tx_wire_bytes;
+    m.counter(base + ".corrupted_frames") = counters_.corrupted_frames;
+    m.counter(base + ".delivered_frames") = counters_.delivered_frames;
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      const QueueCounters& c = queues_[i].counters;
+      const std::string q = base + ".q" + std::to_string(i);
+      m.counter(q + ".enq_frames") = c.enq_frames;
+      m.counter(q + ".enq_bytes") = c.enq_bytes;
+      m.counter(q + ".drop_frames") = c.drop_frames;
+      m.counter(q + ".drop_bytes") = c.drop_bytes;
+      m.counter(q + ".deq_frames") = c.deq_frames;
+      m.counter(q + ".deq_bytes") = c.deq_bytes;
+      m.counter(q + ".tx_frames") = c.tx_frames;
+      m.counter(q + ".tx_bytes") = c.tx_bytes;
+      m.counter(q + ".ecn_marked") = c.ecn_marked;
+      m.counter(q + ".queued_frames") =
+          static_cast<std::int64_t>(queues_[i].fifo.size());
+      m.counter(q + ".queued_bytes") = queues_[i].bytes;
+    }
+  }
 
  private:
   void maybe_start_tx() {
@@ -160,6 +210,11 @@ class EgressPort {
     Packet p = std::move(q.fifo.front());
     q.fifo.pop_front();
     q.bytes -= p.frame_bytes;
+    ++q.counters.deq_frames;
+    q.counters.deq_bytes += p.frame_bytes;
+    obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kDequeue, trace_actor_,
+              p.frame_bytes, static_cast<std::int64_t>(p.uid),
+              static_cast<std::uint16_t>(qi));
     busy_ = true;
 
     // The hook runs first: it may mutate the frame (LinkGuardian stamps its
@@ -178,10 +233,13 @@ class EgressPort {
     counters_.tx_wire_bytes += p.wire_bytes();
 
     // Re-arm a self-replenishing queue immediately (egress mirroring): the
-    // fresh packet becomes eligible the next time the link goes idle.
+    // fresh packet becomes eligible the next time the link goes idle. The
+    // fresh packet is a real enqueue for conservation purposes.
     if (q.replenish) {
       if (std::optional<Packet> fresh = q.replenish()) {
         q.bytes += fresh->frame_bytes;
+        ++q.counters.enq_frames;
+        q.counters.enq_bytes += fresh->frame_bytes;
         q.fifo.push_back(std::move(*fresh));
       }
     }
@@ -197,9 +255,13 @@ class EgressPort {
     const bool lost = loss_ != nullptr && loss_->lose(sim_.now(), p);
     if (lost) {
       ++counters_.corrupted_frames;
+      obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kCorrupt, trace_actor_,
+                p.frame_bytes, static_cast<std::int64_t>(p.uid));
       return;  // the peer MAC drops corrupted frames silently
     }
     ++counters_.delivered_frames;
+    obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kDeliver, trace_actor_,
+              p.frame_bytes, static_cast<std::int64_t>(p.uid));
     if (!deliver_) return;
     sim_.schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
       deliver_(std::move(p));
@@ -217,6 +279,7 @@ class EgressPort {
   bool busy_ = false;
   std::int64_t frac_carry_ = 0;  // sub-ns serialization remainder (x rate)
   PortCounters counters_;
+  std::uint32_t trace_actor_ = 0;  // interned at construction (run's sink)
 };
 
 }  // namespace lgsim::net

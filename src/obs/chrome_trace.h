@@ -1,0 +1,184 @@
+// Chrome trace-event JSON exporter: serializes a TraceCollector (or a list
+// of sinks) into the JSON Object Format that Perfetto and chrome://tracing
+// load directly.
+//
+// Mapping:
+//   pid  = sink index (one "process" per replication cell / main thread)
+//   tid  = interned actor id within the sink
+//   "M"  = metadata events naming each process (the sink label) and thread
+//          (the actor name)
+//   "i"  = thread-scoped instant event for every non-counter record, with
+//          the record payload under args
+//   "C"  = counter event for Kind::kCounter records (series name = actor)
+//
+// Determinism: field order is fixed by construction (hand-built strings, no
+// map-ordered serializer), sinks export in creation order, records in ring
+// order, and timestamps derive from integer SimTime only — so the bytes are
+// identical for any LGSIM_BENCH_JOBS value.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lgsim::obs {
+
+namespace detail {
+
+inline void append_json_escaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Trace-event timestamps are microseconds; SimTime is integer nanoseconds.
+/// Emit exactly three decimals via integer math (no double rounding).
+inline void append_ts_us(std::string& out, SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000,
+                ns % 1000);
+  out += buf;
+}
+
+inline void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace detail
+
+/// Serializes `sinks` (pid = index in the vector). Null entries are skipped
+/// but still consume a pid, keeping cell numbering stable.
+inline void write_chrome_trace(std::ostream& os,
+                               const std::vector<const TraceSink*>& sinks) {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ',';
+    first = false;
+    out += '\n';
+  };
+
+  for (std::size_t pid = 0; pid < sinks.size(); ++pid) {
+    const TraceSink* s = sinks[pid];
+    if (s == nullptr) continue;
+
+    sep();
+    out += "{\"ph\":\"M\",\"pid\":";
+    detail::append_i64(out, static_cast<std::int64_t>(pid));
+    out += ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+    detail::append_json_escaped(out, s->label());
+    out += "\"}}";
+
+    const auto& names = s->actor_names();
+    for (std::size_t tid = 1; tid < names.size(); ++tid) {
+      sep();
+      out += "{\"ph\":\"M\",\"pid\":";
+      detail::append_i64(out, static_cast<std::int64_t>(pid));
+      out += ",\"tid\":";
+      detail::append_i64(out, static_cast<std::int64_t>(tid));
+      out += ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+      detail::append_json_escaped(out, names[tid]);
+      out += "\"}}";
+    }
+
+    const TraceRing& ring = s->ring();
+    for (std::size_t i = 0; i < ring.size(); ++i) {
+      const TraceRecord& r = ring.at(i);
+      const char* cat = static_cast<std::size_t>(r.cat) < kNumCats
+                            ? kCatNames[static_cast<std::size_t>(r.cat)]
+                            : "?";
+      sep();
+      if (r.kind == Kind::kCounter) {
+        out += "{\"ph\":\"C\",\"pid\":";
+        detail::append_i64(out, static_cast<std::int64_t>(pid));
+        out += ",\"tid\":0,\"ts\":";
+        detail::append_ts_us(out, r.ts);
+        out += ",\"cat\":\"";
+        out += cat;
+        out += "\",\"name\":\"";
+        detail::append_json_escaped(out, s->actor_name(r.actor));
+        out += "\",\"args\":{\"value\":";
+        detail::append_i64(out, r.a);
+        out += "}}";
+      } else {
+        const char* kind = static_cast<std::size_t>(r.kind) < kNumKinds
+                               ? kKindNames[static_cast<std::size_t>(r.kind)]
+                               : "?";
+        out += "{\"ph\":\"i\",\"pid\":";
+        detail::append_i64(out, static_cast<std::int64_t>(pid));
+        out += ",\"tid\":";
+        detail::append_i64(out, r.actor);
+        out += ",\"ts\":";
+        detail::append_ts_us(out, r.ts);
+        out += ",\"s\":\"t\",\"cat\":\"";
+        out += cat;
+        out += "\",\"name\":\"";
+        out += kind;
+        out += "\",\"args\":{\"a\":";
+        detail::append_i64(out, r.a);
+        out += ",\"b\":";
+        detail::append_i64(out, r.b);
+        out += ",\"aux\":";
+        detail::append_i64(out, r.aux);
+        out += "}}";
+      }
+    }
+  }
+
+  out += "\n],\"metrics\":[";
+  bool mfirst = true;
+  for (std::size_t pid = 0; pid < sinks.size(); ++pid) {
+    const TraceSink* s = sinks[pid];
+    if (s == nullptr) continue;
+    if (!mfirst) out += ',';
+    mfirst = false;
+    out += "\n{\"pid\":";
+    detail::append_i64(out, static_cast<std::int64_t>(pid));
+    out += ",\"label\":\"";
+    detail::append_json_escaped(out, s->label());
+    out += "\",\"evicted_records\":";
+    detail::append_i64(out, static_cast<std::int64_t>(s->ring().evicted()));
+    out += ",\"values\":";
+    os.write(out.data(), static_cast<std::streamsize>(out.size()));
+    out.clear();
+    s->metrics().write_json(os);
+    out += '}';
+  }
+  out += "\n]}\n";
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+/// Convenience: every sink of a collector, in creation order.
+inline void write_chrome_trace(std::ostream& os, const TraceCollector& col) {
+  std::vector<const TraceSink*> sinks;
+  sinks.reserve(col.sink_count());
+  for (std::size_t i = 0; i < col.sink_count(); ++i)
+    sinks.push_back(&col.sink(i));
+  write_chrome_trace(os, sinks);
+}
+
+}  // namespace lgsim::obs

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "net/loss_model.h"
+#include "obs/trace.h"
 #include "phy/optical.h"
 
 namespace lgsim::phy {
@@ -16,10 +17,20 @@ namespace lgsim::phy {
 class AttenuationLoss final : public net::LossModel {
  public:
   AttenuationLoss(Transceiver xcvr, double attenuation_db, Rng rng)
-      : xcvr_(std::move(xcvr)), attenuation_db_(attenuation_db), rng_(rng) {}
+      : xcvr_(std::move(xcvr)),
+        attenuation_db_(attenuation_db),
+        rng_(rng),
+        trace_actor_(obs::intern_actor("phy/attenuation")) {}
 
-  bool lose(SimTime, const net::Packet& p) override {
-    return rng_.bernoulli(loss_for_size(p.frame_bytes));
+  bool lose(SimTime now, const net::Packet& p) override {
+    const bool lost = rng_.bernoulli(loss_for_size(p.frame_bytes));
+    if (lost) {
+      // Attenuation in milli-dB: trace records carry integers only.
+      obs::emit(now, obs::Cat::kPhy, obs::Kind::kCorrupt, trace_actor_,
+                p.frame_bytes,
+                static_cast<std::int64_t>(attenuation_db_ * 1000.0));
+    }
+    return lost;
   }
 
   /// Frame-loss probability for a given frame size (memoized: the simulation
@@ -44,6 +55,7 @@ class AttenuationLoss final : public net::LossModel {
   Transceiver xcvr_;
   double attenuation_db_;
   Rng rng_;
+  std::uint32_t trace_actor_ = 0;  // obs actor id, interned at construction
   std::unordered_map<std::int32_t, double> cache_;
 };
 

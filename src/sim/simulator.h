@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "util/units.h"
 
 namespace lgsim {
@@ -22,6 +24,18 @@ class Simulator {
 
   /// Opaque handle for cancellation. Zero is "no event".
   using EventId = std::uint64_t;
+
+  /// Event-loop internals surfaced for observability (obs::MetricsRegistry).
+  /// `cancelled_skipped` counts events actually discarded at pop time, which
+  /// can lag `cancel_requests` (lazy deletion); the difference that never
+  /// drains is the backlog of cancels whose events already fired.
+  struct Counters {
+    std::uint64_t scheduled = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t cancel_requests = 0;
+    std::uint64_t cancelled_skipped = 0;
+    std::uint64_t peak_heap_depth = 0;
+  };
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -34,6 +48,9 @@ class Simulator {
     const EventId id = next_id_++;
     heap_.push(Event{t, id, std::move(cb)});
     ++pending_;
+    ++counters_.scheduled;
+    if (heap_.size() > counters_.peak_heap_depth)
+      counters_.peak_heap_depth = heap_.size();
     return id;
   }
 
@@ -53,7 +70,10 @@ class Simulator {
   /// one; events scheduled earlier at that timestamp have already fired and
   /// cancelling them is a no-op. See sim_test.cc (Cancel* tests).
   void cancel(EventId id) {
-    if (id != 0) cancelled_.push_back(id);
+    if (id != 0) {
+      cancelled_.push_back(id);
+      ++counters_.cancel_requests;
+    }
   }
 
   /// Run until the event queue is empty or `until` is reached (inclusive of
@@ -91,6 +111,30 @@ class Simulator {
   bool idle() const { return pending_ == 0; }
   std::uint64_t total_executed() const { return total_executed_; }
 
+  /// Events currently in the heap (including not-yet-skipped cancellations).
+  std::uint64_t pending() const { return pending_; }
+  /// Cancelled ids waiting for their event to reach the top of the heap.
+  std::size_t cancel_backlog() const { return cancelled_.size(); }
+
+  Counters counters() const {
+    Counters c = counters_;
+    c.executed = total_executed_;
+    return c;
+  }
+
+  /// Pushes the event-loop counters into a metrics registry under `prefix`.
+  void export_metrics(obs::MetricsRegistry& m,
+                      const std::string& prefix = "sim") const {
+    const Counters c = counters();
+    m.counter(prefix + ".events_scheduled") = static_cast<std::int64_t>(c.scheduled);
+    m.counter(prefix + ".events_executed") = static_cast<std::int64_t>(c.executed);
+    m.counter(prefix + ".cancel_requests") = static_cast<std::int64_t>(c.cancel_requests);
+    m.counter(prefix + ".cancelled_skipped") = static_cast<std::int64_t>(c.cancelled_skipped);
+    m.counter(prefix + ".peak_heap_depth") = static_cast<std::int64_t>(c.peak_heap_depth);
+    m.counter(prefix + ".cancel_backlog") = static_cast<std::int64_t>(cancelled_.size());
+    m.counter(prefix + ".pending") = static_cast<std::int64_t>(pending_);
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -119,6 +163,7 @@ class Simulator {
       if (cancelled_[i] == id) {
         cancelled_[i] = cancelled_.back();
         cancelled_.pop_back();
+        ++counters_.cancelled_skipped;
         return true;
       }
     }
@@ -131,6 +176,7 @@ class Simulator {
   std::uint64_t total_executed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   std::vector<EventId> cancelled_;
+  Counters counters_;
 };
 
 /// Re-arming periodic task (used for timer packets, counter polling, meters).

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
+
 namespace lgsim::transport {
 
 RdmaSender::RdmaSender(Simulator& sim, const RdmaConfig& cfg, std::uint32_t qp,
@@ -19,6 +21,8 @@ void RdmaSender::start(std::int64_t bytes) {
   msg_bytes_ = bytes;
   n_pkts_ = (bytes + cfg_.payload - 1) / cfg_.payload;
   start_time_ = sim_.now();
+  obs::emit(sim_.now(), obs::Cat::kTransport, obs::Kind::kFlowStart,
+            obs::intern_actor("rdma"), bytes, qp_);
   send_window();
   arm_rto();
 }
@@ -109,6 +113,8 @@ void RdmaSender::check_done() {
   if (done_ || snd_una_ < n_pkts_) return;
   done_ = true;
   rto_deadline_ = -1;
+  obs::emit(sim_.now(), obs::Cat::kTransport, obs::Kind::kFlowEnd,
+            obs::intern_actor("rdma"), sim_.now() - start_time_, qp_);
   if (done_cb_) done_cb_(sim_.now() - start_time_);
 }
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/trace.h"
+
 namespace lgsim::transport {
 
 namespace {
@@ -49,6 +51,8 @@ void TcpSender::start(std::int64_t bytes) {
   flow_bytes_ = bytes;
   n_segs_ = (bytes + mss_ - 1) / mss_;
   start_time_ = sim_.now();
+  obs::emit(sim_.now(), obs::Cat::kTransport, obs::Kind::kFlowStart,
+            obs::intern_actor("tcp"), bytes, flow_id_);
   cwnd_ = cfg_.init_cwnd_segs * mss_;
   dctcp_window_end_ = 0;
   try_send();
@@ -513,6 +517,8 @@ void TcpSender::check_done() {
   if (done_ || seg_una_ < n_segs_) return;
   done_ = true;
   tlp_deadline_ = rto_deadline_ = -1;
+  obs::emit(sim_.now(), obs::Cat::kTransport, obs::Kind::kFlowEnd,
+            obs::intern_actor("tcp"), sim_.now() - start_time_, flow_id_);
   if (done_cb_) done_cb_(sim_.now() - start_time_);
 }
 

@@ -7,6 +7,7 @@
 #include "net/packet.h"
 #include "net/pipeline.h"
 #include "net/port.h"
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "util/stats.h"
@@ -97,6 +98,74 @@ TEST(EgressPort, ByteLimitDropsTail) {
   EXPECT_EQ(port.queue_counters(q).drop_frames, 1);
   sim.run();
   EXPECT_EQ(sink.pkts.size(), 3u);
+}
+
+TEST(EgressPort, QueueCountersConserve) {
+  Simulator sim;
+  EgressPort port(sim, "p", gbps(10), 0);
+  const int q = port.add_queue({.byte_limit = 3000});
+  Collector sink;
+  port.set_deliver(sink.fn(sim));
+  ScriptedLoss loss({2});  // corrupt the 3rd transmitted frame
+  port.set_loss_model(&loss);
+
+  EXPECT_TRUE(port.enqueue(q, data_pkt(1500, 1)));  // dequeued immediately
+  EXPECT_TRUE(port.enqueue(q, data_pkt(1500, 2)));
+  EXPECT_TRUE(port.enqueue(q, data_pkt(1400, 3)));
+  EXPECT_FALSE(port.enqueue(q, data_pkt(1500, 4)));  // 2900 + 1500 > limit
+
+  // Mid-flight conservation: accepted == dequeued + still in the fifo, for
+  // both frames and bytes; drops live in their own counters.
+  const EgressPort::QueueCounters& c = port.queue_counters(q);
+  EXPECT_EQ(c.enq_frames,
+            c.deq_frames + static_cast<std::int64_t>(port.queue_frames(q)));
+  EXPECT_EQ(c.enq_bytes, c.deq_bytes + port.queue_bytes(q));
+  EXPECT_EQ(c.enq_frames + c.drop_frames, 4);  // everything offered
+  EXPECT_EQ(c.drop_frames, 1);
+  EXPECT_EQ(c.drop_bytes, 1500);
+
+  sim.run();
+
+  // Fully drained: the invariant collapses to enq == deq, and every
+  // transmitted frame was either corrupted on the wire or delivered.
+  EXPECT_EQ(c.enq_frames, c.deq_frames);
+  EXPECT_EQ(c.enq_bytes, c.deq_bytes);
+  EXPECT_EQ(c.tx_frames, 3);
+  EXPECT_EQ(port.counters().tx_frames, 3);
+  EXPECT_EQ(port.counters().corrupted_frames, 1);
+  EXPECT_EQ(port.counters().corrupted_frames + port.counters().delivered_frames,
+            port.counters().tx_frames);
+
+  obs::MetricsRegistry m;
+  port.export_metrics(m);
+  EXPECT_EQ(m.counter("port.p.q0.enq_frames"), 3);
+  EXPECT_EQ(m.counter("port.p.q0.drop_frames"), 1);
+  EXPECT_EQ(m.counter("port.p.q0.drop_bytes"), 1500);
+  EXPECT_EQ(m.counter("port.p.q0.deq_frames"), 3);
+  EXPECT_EQ(m.counter("port.p.q0.queued_frames"), 0);
+  EXPECT_EQ(m.counter("port.p.corrupted_frames"), 1);
+  EXPECT_EQ(m.counter("port.p.delivered_frames"), 2);
+}
+
+TEST(EgressPort, ReplenishCountsAsEnqueueForConservation) {
+  Simulator sim;
+  EgressPort port(sim, "p", gbps(100), 0);
+  const int fill = port.add_queue();
+  int generated = 0;
+  port.set_replenish(fill, [&]() -> std::optional<Packet> {
+    if (generated >= 3) return std::nullopt;
+    ++generated;
+    return make_control(PktKind::kLgDummy);
+  });
+  Collector sink;
+  port.set_deliver(sink.fn(sim));
+  port.enqueue(fill, make_control(PktKind::kLgDummy));
+  sim.run();
+  const EgressPort::QueueCounters& c = port.queue_counters(fill);
+  EXPECT_EQ(c.enq_frames, 4);  // 1 seeded + 3 self-replenished
+  EXPECT_EQ(c.enq_frames,
+            c.deq_frames + static_cast<std::int64_t>(port.queue_frames(fill)));
+  EXPECT_EQ(c.enq_bytes, c.deq_bytes + port.queue_bytes(fill));
 }
 
 TEST(EgressPort, PauseHoldsQueueAndResumeReleases) {

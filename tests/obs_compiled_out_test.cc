@@ -1,0 +1,77 @@
+// Pins the LGSIM_TRACE_ENABLED=0 configuration: every probe compiles to
+// nothing, interning returns the null actor, and instrumented components
+// (EgressPort, Simulator) behave identically with tracing removed.
+//
+// Build note: this binary is compiled with LGSIM_TRACE_ENABLED=0 via a
+// target-local definition, and it must link ONLY header-only libraries
+// (lgsim_obs/net/sim/util + GTest). Linking any static library whose
+// translation units saw LGSIM_TRACE_ENABLED=1 would be an ODR violation on
+// obs' inline functions — the one-setting-per-binary rule from obs/trace.h.
+#include <cstdint>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "net/port.h"
+#include "obs/chrome_trace.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+
+#ifndef LGSIM_TRACE_ENABLED
+#error "gate macro should be defined by obs/trace.h"
+#endif
+static_assert(LGSIM_TRACE_ENABLED == 0,
+              "this test must be built with -DLGSIM_TRACE_ENABLED=0");
+static_assert(!lgsim::obs::kTraceCompiledIn);
+
+namespace lgsim {
+namespace {
+
+TEST(ObsCompiledOut, ProbesRecordNothingEvenWithSinkInstalled) {
+  obs::TraceSink sink("dead");
+  obs::SinkScope scope(&sink);
+  // The scope sets the TLS slot, but the compiled-out accessors ignore it.
+  EXPECT_EQ(obs::current_sink(), nullptr);
+  EXPECT_EQ(obs::intern_actor("anyone"), 0u);
+  obs::emit(1, obs::Cat::kPort, obs::Kind::kDrop, 1, 2, 3, 4);
+  obs::emit_counter(2, obs::Cat::kSim, 1, 42);
+  EXPECT_EQ(sink.ring().size(), 0u);
+  EXPECT_EQ(sink.ring().total_pushed(), 0u);
+}
+
+TEST(ObsCompiledOut, PortDatapathUnaffected) {
+  obs::TraceSink sink("dead");
+  obs::SinkScope scope(&sink);
+
+  Simulator sim;
+  net::EgressPort port(sim, "p", gbps(100), 0);
+  const int q = port.add_queue();
+  std::int64_t delivered = 0;
+  port.set_deliver([&](net::Packet&&) { ++delivered; });
+  for (int i = 0; i < 100; ++i) {
+    net::Packet p;
+    p.frame_bytes = 1518;
+    port.enqueue(q, std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(delivered, 100);
+  // Accounting still works (it is unconditional)...
+  EXPECT_EQ(port.queue_counters(q).enq_frames, 100);
+  EXPECT_EQ(port.queue_counters(q).deq_frames, 100);
+  // ...but not a single trace record was produced.
+  EXPECT_EQ(sink.ring().total_pushed(), 0u);
+}
+
+TEST(ObsCompiledOut, ExporterStillWorksOnManualRecords) {
+  // The data structures themselves stay usable (the macro only removes the
+  // inline probes), so offline tooling can still build and export traces.
+  obs::TraceSink sink("manual", 4);
+  sink.push(obs::TraceRecord{10, sink.intern("x"), obs::Cat::kSim,
+                             obs::Kind::kPoll, 0, 1, 2});
+  std::ostringstream os;
+  obs::write_chrome_trace(os, std::vector<const obs::TraceSink*>{&sink});
+  EXPECT_NE(os.str().find("\"name\":\"poll\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lgsim

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 
@@ -158,6 +159,56 @@ TEST(Simulator, EventsScheduledDuringRunExecute) {
   sim.run();
   EXPECT_EQ(depth, 5);
   EXPECT_EQ(sim.now(), 4);
+}
+
+TEST(Simulator, CountersTrackEventLoopInternals) {
+  Simulator sim;
+  int fired = 0;
+  const auto a = sim.schedule_at(10, [&] { ++fired; });
+  const auto b = sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(30, [&] { ++fired; });
+  sim.cancel(b);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+
+  const Simulator::Counters c = sim.counters();
+  EXPECT_EQ(c.scheduled, 3u);
+  EXPECT_EQ(c.executed, 2u);
+  EXPECT_EQ(c.cancel_requests, 1u);
+  EXPECT_EQ(c.cancelled_skipped, 1u);  // the cancelled event drained lazily
+  EXPECT_EQ(c.peak_heap_depth, 3u);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.cancel_backlog(), 0u);
+
+  // A stale cancel (the event already fired) can never drain: it stays in
+  // the lazy-deletion backlog and counts as a request but never as skipped.
+  sim.cancel(a);
+  EXPECT_EQ(sim.cancel_backlog(), 1u);
+  EXPECT_EQ(sim.counters().cancel_requests, 2u);
+  EXPECT_EQ(sim.counters().cancelled_skipped, 1u);
+
+  obs::MetricsRegistry m;
+  sim.export_metrics(m);
+  EXPECT_EQ(m.counter("sim.events_scheduled"), 3);
+  EXPECT_EQ(m.counter("sim.events_executed"), 2);
+  EXPECT_EQ(m.counter("sim.cancel_requests"), 2);
+  EXPECT_EQ(m.counter("sim.cancelled_skipped"), 1);
+  EXPECT_EQ(m.counter("sim.peak_heap_depth"), 3);
+  EXPECT_EQ(m.counter("sim.cancel_backlog"), 1);
+  EXPECT_EQ(m.counter("sim.pending"), 0);
+}
+
+TEST(Simulator, PeakHeapDepthTracksHighWaterMark) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.counters().peak_heap_depth, 5u);
+  sim.run();
+  // Re-scheduling fewer events later must not lower the recorded peak.
+  sim.schedule_at(100, [] {});
+  sim.run();
+  EXPECT_EQ(sim.counters().peak_heap_depth, 5u);
+  EXPECT_EQ(sim.counters().scheduled, 6u);
+  EXPECT_EQ(sim.counters().executed, 6u);
 }
 
 TEST(PeriodicTask, FiresAtPeriodUntilStopped) {
