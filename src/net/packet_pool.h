@@ -1,0 +1,67 @@
+// Free-listed Packet pool for the port/pipeline copy chain.
+//
+// The event kernel stores callbacks inline with a hard 64-byte size cap
+// (sim/event.h), so datapath closures cannot capture a ~200-byte `Packet` by
+// value the way the original `std::function` path did. Instead, a component
+// parks the in-flight frame in its pool and captures the stable `Packet*`:
+//
+//   net::Packet* slot = pool_.acquire(std::move(p));
+//   sim.schedule_in(delay, [this, slot] {
+//     next_(std::move(*slot));   // consumer moves the payload out...
+//     pool_.release(slot);       // ...then the slot is recycled
+//   });
+//
+// The arena is a deque (stable addresses across growth) and never shrinks:
+// after warmup the pool's working set matches the component's peak in-flight
+// frame count and `acquire` / `release` are freelist push/pop — zero
+// steady-state allocation, which bench_micro's allocation guard pins.
+//
+// Pools are owned per component per simulation, so they are thread-confined
+// exactly like the Simulator itself (the parallel runner gives each
+// replication cell its own simulation).
+#pragma once
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace lgsim::net {
+
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Move `p` into a recycled slot and return its stable address. The slot
+  /// stays valid until release()d; addresses never move (deque arena).
+  Packet* acquire(Packet&& p) {
+    Packet* slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      arena_.emplace_back();
+      slot = &arena_.back();
+    }
+    *slot = std::move(p);
+    return slot;
+  }
+
+  /// Return a slot to the freelist. The caller must have moved the payload
+  /// out (or be done with it); the Packet object itself is reused as-is.
+  void release(Packet* slot) { free_.push_back(slot); }
+
+  /// Slots ever created (the peak in-flight count after warmup).
+  std::size_t capacity() const { return arena_.size(); }
+  /// Slots currently checked out.
+  std::size_t in_flight() const { return arena_.size() - free_.size(); }
+
+ private:
+  std::deque<Packet> arena_;
+  std::vector<Packet*> free_;
+};
+
+}  // namespace lgsim::net

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -12,7 +13,9 @@ namespace lgsim::net {
 
 /// A fixed processing delay in front of a handler: models the ingress+egress
 /// pipeline latency of a store-and-forward switch ASIC. Packets entered here
-/// pop out `latency` ns later, in order.
+/// pop out `latency` ns later, in order. In-flight frames park in a
+/// free-listed pool so the scheduled closure is two pointers — inside the
+/// kernel's inline-callback budget, with zero steady-state allocation.
 class PipelineDelay {
  public:
   using Handler = std::function<void(Packet&&)>;
@@ -21,9 +24,13 @@ class PipelineDelay {
       : sim_(sim), latency_(latency), next_(std::move(next)) {}
 
   void accept(Packet&& p) {
-    sim_.schedule_in(latency_, [this, p = std::move(p)]() mutable {
-      next_(std::move(p));
-    });
+    Packet* slot = pool_.acquire(std::move(p));
+    auto emerge = [this, slot] {
+      next_(std::move(*slot));
+      pool_.release(slot);
+    };
+    static_assert(sizeof(emerge) <= sim::InlineCallback::kInlineBytes);
+    sim_.schedule_in(latency_, std::move(emerge));
   }
 
   SimTime latency() const { return latency_; }
@@ -32,6 +39,7 @@ class PipelineDelay {
   Simulator& sim_;
   SimTime latency_;
   Handler next_;
+  PacketPool pool_;
 };
 
 /// Ingress frame counters (what corruptd polls: framesRxOk / framesRxAll).

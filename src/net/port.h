@@ -17,7 +17,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <optional>
 #include <functional>
 #include <string>
@@ -26,9 +25,11 @@
 
 #include "net/loss_model.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
+#include "util/ring.h"
 #include "util/units.h"
 
 namespace lgsim::net {
@@ -74,7 +75,7 @@ class EgressPort {
  private:
   struct Queue {
     QueueOpts opts;
-    std::deque<Packet> fifo;
+    util::RingQueue<Packet> fifo;
     std::int64_t bytes = 0;
     bool paused = false;
     std::function<std::optional<Packet>()> replenish;
@@ -244,28 +245,42 @@ class EgressPort {
       }
     }
 
-    sim_.schedule_in(tx, [this, p = std::move(p)]() mutable {
+    // The frame parks in the pool for the serialization + propagation chain;
+    // the kernel closures capture only {this, slot} and stay inside
+    // InlineCallback's inline buffer (no per-event heap allocation).
+    Packet* slot = pool_.acquire(std::move(p));
+    auto done = [this, slot] {
       busy_ = false;
-      finish_tx(std::move(p));
+      finish_tx(slot);
       maybe_start_tx();
-    });
+    };
+    static_assert(sizeof(done) <= sim::InlineCallback::kInlineBytes);
+    sim_.schedule_in(tx, std::move(done));
   }
 
-  void finish_tx(Packet&& p) {
+  void finish_tx(Packet* slot) {
+    const Packet& p = *slot;
     const bool lost = loss_ != nullptr && loss_->lose(sim_.now(), p);
     if (lost) {
       ++counters_.corrupted_frames;
       obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kCorrupt, trace_actor_,
                 p.frame_bytes, static_cast<std::int64_t>(p.uid));
+      pool_.release(slot);
       return;  // the peer MAC drops corrupted frames silently
     }
     ++counters_.delivered_frames;
     obs::emit(sim_.now(), obs::Cat::kPort, obs::Kind::kDeliver, trace_actor_,
               p.frame_bytes, static_cast<std::int64_t>(p.uid));
-    if (!deliver_) return;
-    sim_.schedule_in(prop_delay_, [this, p = std::move(p)]() mutable {
-      deliver_(std::move(p));
-    });
+    if (!deliver_) {
+      pool_.release(slot);
+      return;
+    }
+    auto arrive = [this, slot] {
+      deliver_(std::move(*slot));
+      pool_.release(slot);
+    };
+    static_assert(sizeof(arrive) <= sim::InlineCallback::kInlineBytes);
+    sim_.schedule_in(prop_delay_, std::move(arrive));
   }
 
   Simulator& sim_;
@@ -276,6 +291,7 @@ class EgressPort {
   DeliverFn deliver_;
   LossModel* loss_ = nullptr;
   TransmitHook on_transmit_;
+  PacketPool pool_;  // in-flight frames (serialization + propagation legs)
   bool busy_ = false;
   std::int64_t frac_carry_ = 0;  // sub-ns serialization remainder (x rate)
   PortCounters counters_;

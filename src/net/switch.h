@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/pipeline.h"
 #include "net/port.h"
 #include "sim/simulator.h"
 
@@ -31,7 +32,11 @@ class Switch {
   };
 
   Switch(Simulator& sim, std::string name, SimTime pipeline_latency = nsec(400))
-      : sim_(sim), name_(std::move(name)), pipeline_latency_(pipeline_latency) {}
+      : sim_(sim),
+        name_(std::move(name)),
+        pipeline_latency_(pipeline_latency),
+        pipe_(sim, pipeline_latency,
+              [this](Packet&& p) { forward(std::move(p)); }) {}
 
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
@@ -71,9 +76,7 @@ class Switch {
   /// Packet arriving at this switch.
   void ingress(Packet&& p) {
     ++rx_frames_;
-    sim_.schedule_in(pipeline_latency_, [this, p = std::move(p)]() mutable {
-      forward(std::move(p));
-    });
+    pipe_.accept(std::move(p));
   }
 
   std::function<void(Packet&&)> ingress_fn() {
@@ -102,6 +105,7 @@ class Switch {
   Simulator& sim_;
   std::string name_;
   SimTime pipeline_latency_;
+  PipelineDelay pipe_;  // shared ingress pipeline stage (in-order, pooled)
   std::vector<std::unique_ptr<EgressPort>> ports_;
   std::unordered_map<std::uint32_t, int> routes_;
   std::unordered_map<int, std::function<void(Packet&&)>> overrides_;

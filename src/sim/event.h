@@ -1,0 +1,133 @@
+// Allocation-free callable storage for the event kernel's hot path.
+//
+// `InlineCallback` is a move-only type-erased callable with a fixed inline
+// buffer and **no heap fallback**: a closure that does not fit is a compile
+// error, not a silent allocation. This is the contract that keeps the packet
+// datapath at zero steady-state allocations — the port/pipeline/LG closures
+// capture a pooled `Packet*` (see net/packet_pool.h) plus an owner pointer,
+// never the ~200-byte `Packet` by value, so everything the kernel stores per
+// event is a handful of pointers.
+//
+// Type erasure is a static three-entry vtable per callable type:
+//   relocate  — destructive move (move-construct into dst, destroy src);
+//               used when an event record leaves its slot for invocation and
+//               when the slot arena grows.
+//   consume   — invoke then destroy in place; the kernel calls a callback
+//               exactly once, so invoke and destroy fuse into one indirect
+//               call instead of two.
+//   destroy   — plain destructor; used for cancellation and teardown.
+//
+// Compare with `std::function<void()>`: no allocation for large captures (we
+// forbid them instead), no copyability machinery, and — because the 4-ary
+// heap stores 24-byte POD entries rather than the callable — zero indirect
+// calls during heap sifts (std::function paid one manager call per level).
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace lgsim::sim {
+
+class InlineCallback {
+ public:
+  /// Inline storage budget. Sized for the repo's biggest kernel closures
+  /// (an owner `this` + pooled `Packet*` + a few words of bookkeeping) with
+  /// room to spare for harness lambdas that capture a `std::function` copy.
+  static constexpr std::size_t kInlineBytes = 64;
+
+  InlineCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineCallback>>>
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept { steal(other); }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  /// Construct the callable in place (the scheduling fast path: one placement
+  /// construction directly into the event slot, no intermediate moves).
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(sizeof(Fn) <= kInlineBytes,
+                  "closure too large for InlineCallback's inline buffer: "
+                  "capture a pooled Packet* (net::PacketPool) instead of a "
+                  "Packet by value");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "closure over-aligned for InlineCallback storage");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "event callbacks must be nothrow-movable (slot arena and "
+                  "heap relocation)");
+    reset();
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    ops_ = &kOpsFor<Fn>;
+  }
+
+  /// Invoke exactly once, destroying the callable. Disengages *this.
+  void consume() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->consume(buf_);
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*relocate)(void* dst, void* src);
+    void (*consume)(void* obj);
+    void (*destroy)(void* obj);
+  };
+
+  template <typename Fn>
+  static constexpr Ops kOpsFor = {
+      // relocate: destructive move. For trivially copyable captures (the
+      // packet path: plain pointers) the compiler lowers this to a memcpy.
+      [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* obj) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(obj));
+        (*f)();
+        f->~Fn();
+      },
+      [](void* obj) { std::launder(reinterpret_cast<Fn*>(obj))->~Fn(); },
+  };
+
+  void steal(InlineCallback& other) noexcept {
+    ops_ = other.ops_;
+    other.ops_ = nullptr;
+    if (ops_ != nullptr) ops_->relocate(buf_, other.buf_);
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace lgsim::sim

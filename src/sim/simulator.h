@@ -1,34 +1,70 @@
 // Discrete-event simulation kernel.
 //
-// A single-threaded event loop over a binary heap keyed by (time, sequence).
-// The sequence number makes scheduling stable: events scheduled earlier at the
-// same timestamp run first, which the protocol logic relies on (e.g. a loss
-// notification enqueued before an ACK at the same instant is delivered first).
+// A single-threaded event loop ordered by (time, sequence). The sequence
+// number makes scheduling stable: events scheduled earlier at the same
+// timestamp run first, which the protocol logic relies on (e.g. a loss
+// notification enqueued before an ACK at the same instant is delivered
+// first).
+//
+// Hot-path design (see DESIGN.md "Event kernel"):
+//
+//   * Callbacks live in slot-indexed event records (`InlineCallback`, 64-byte
+//     inline storage, no heap fallback), recycled through a freelist. The
+//     scheduling fast path is one placement-construction into a recycled
+//     slot; the steady state allocates nothing.
+//   * The ready queue is two sorted lanes of 24-byte POD entries
+//     {time, seq, id}. Events scheduled in ascending (time, seq) order — the
+//     dominant pattern: FIFO batches, timer chains, port serialization —
+//     append to a monotone ring lane and pop from its front in O(1), never
+//     touching the heap. Only out-of-order arrivals go to the owned 4-ary
+//     heap. Pop takes the smaller of the two lane heads, so the global
+//     (time, seq) order is exactly that of a single priority queue. Sifts
+//     move PODs (memcpy), never callables, and pop moves the top out
+//     directly — no `const_cast` dance against `std::priority_queue`'s
+//     const `top()`.
+//   * Cancellation is O(1): an `EventId` encodes {slot, generation}; cancel
+//     destroys the callback immediately and bumps the slot generation, so
+//     the stale heap entry is recognized (generation mismatch) and skipped
+//     when it surfaces. Ids are never logically reused: a recycled slot gets
+//     a fresh generation, so a stale id can never match a later event.
+//
+// Counter semantics are kept bit-compatible with the original lazy-deletion
+// kernel (these counters are exported into trace goldens): `cancel_backlog`
+// grows by one per cancel request and shrinks when the cancelled entry pops
+// out of the heap, so a stale cancel (the event already fired) inflates the
+// backlog forever, exactly as the old remembered-id list did; and
+// `cancelled_skipped` counts entries discarded at pop time.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "sim/event.h"
+#include "util/ring.h"
 #include "util/units.h"
 
 namespace lgsim {
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
-  /// Opaque handle for cancellation. Zero is "no event".
+  /// Opaque handle for cancellation. Zero is "no event". Encodes
+  /// {generation:40, slot:24}; generations start at 1 so a valid id is never
+  /// zero, and a slot's generation skips the all-zero pattern on wraparound.
   using EventId = std::uint64_t;
 
   /// Event-loop internals surfaced for observability (obs::MetricsRegistry).
   /// `cancelled_skipped` counts events actually discarded at pop time, which
-  /// can lag `cancel_requests` (lazy deletion); the difference that never
-  /// drains is the backlog of cancels whose events already fired.
+  /// can lag `cancel_requests`; the difference that never drains is the
+  /// backlog of cancels whose events already fired.
   struct Counters {
     std::uint64_t scheduled = 0;
     std::uint64_t executed = 0;
@@ -43,26 +79,51 @@ class Simulator {
 
   SimTime now() const { return now_; }
 
-  /// Schedule `cb` to run at absolute time `t` (must be >= now()).
-  EventId schedule_at(SimTime t, Callback cb) {
-    const EventId id = next_id_++;
-    heap_.push(Event{t, id, std::move(cb)});
+  /// Schedule `cb` to run at absolute time `t` (must be >= now()). The
+  /// callable is constructed directly into a recycled event slot; it must
+  /// fit InlineCallback's inline buffer (compile-time enforced).
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& cb) {
+    std::uint32_t s;
+    if (!free_slots_.empty()) {
+      s = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      s = slot_count_++;
+      if (s > kSlotMask) slot_overflow();
+      if ((s & kChunkMask) == 0)
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    Slot& slot = slot_ref(s);
+    slot.cb.emplace(std::forward<F>(cb));
+    const EventId id = make_id(s, slot.gen);
+    const Entry e{t, seq_++, id};
+    // Monotone fast lane: an event not before the lane's tail extends the
+    // sorted run in O(1); only out-of-order arrivals pay the heap sift.
+    if (run_.empty() || !before(e, run_.back()))
+      run_.push_back(e);
+    else
+      heap_push(e);
     ++pending_;
     ++counters_.scheduled;
-    if (heap_.size() > counters_.peak_heap_depth)
-      counters_.peak_heap_depth = heap_.size();
+    // Peak depth counts both lanes: the same entry set a single priority
+    // queue would hold (this counter is exported into trace goldens).
+    const std::uint64_t depth = heap_.size() + run_.size();
+    if (depth > counters_.peak_heap_depth) counters_.peak_heap_depth = depth;
     return id;
   }
 
   /// Schedule `cb` to run `delay` ns from now.
-  EventId schedule_in(SimTime delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  template <typename F>
+  EventId schedule_in(SimTime delay, F&& cb) {
+    return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Cancel a previously scheduled event. Safe to call with an id that has
-  /// already fired or been cancelled (no-op: ids are never reused, so a stale
-  /// id can never match a later event). O(1): lazy deletion — the id is
-  /// remembered and the event skipped when it reaches the top of the heap.
+  /// already fired or been cancelled (no-op: a recycled slot carries a fresh
+  /// generation, so a stale id can never match a later event). O(1): the
+  /// callback is destroyed immediately and the slot recycled; the heap entry
+  /// is skipped when it reaches the top.
   ///
   /// Interaction with the (time, sequence) ordering contract: events at the
   /// same timestamp run in schedule order, so a callback can only cancel
@@ -70,9 +131,17 @@ class Simulator {
   /// one; events scheduled earlier at that timestamp have already fired and
   /// cancelling them is a no-op. See sim_test.cc (Cancel* tests).
   void cancel(EventId id) {
-    if (id != 0) {
-      cancelled_.push_back(id);
-      ++counters_.cancel_requests;
+    if (id == 0) return;
+    ++counters_.cancel_requests;
+    ++cancel_backlog_;
+    const std::uint32_t s = slot_of(id);
+    if (s < slot_count_) {
+      Slot& slot = slot_ref(s);
+      if (gen_matches(slot.gen, id)) {
+        slot.cb.reset();
+        bump_gen(slot);
+        free_slots_.push_back(s);
+      }
     }
   }
 
@@ -80,12 +149,26 @@ class Simulator {
   /// events at exactly `until`). Returns number of events executed.
   std::uint64_t run(SimTime until = INT64_MAX) {
     std::uint64_t executed = 0;
-    while (!heap_.empty()) {
-      if (heap_.top().time > until) break;
-      Event ev = pop_top();
-      if (is_cancelled(ev.id)) continue;
+    while (!queue_empty()) {
+      if (queue_top().time > until) break;
+      const Entry ev = queue_pop();
+      --pending_;
+      const std::uint32_t s = slot_of(ev.id);
+      Slot& slot = slot_ref(s);
+      if (!gen_matches(slot.gen, ev.id)) {
+        ++counters_.cancelled_skipped;
+        --cancel_backlog_;
+        continue;
+      }
       now_ = ev.time;
-      ev.cb();
+      // The chunked arena gives slots stable addresses, so the callback is
+      // consumed in place even though it may schedule new events (arena
+      // growth adds chunks, never moves them). The generation is bumped
+      // *before* invoking so a cancel of the running event's own id from
+      // inside the callback is recognized as stale.
+      bump_gen(slot);
+      slot.cb.consume();
+      free_slots_.push_back(s);
       ++executed;
       ++total_executed_;
     }
@@ -97,11 +180,20 @@ class Simulator {
 
   /// Execute exactly one event if available. Returns false when idle.
   bool step() {
-    while (!heap_.empty()) {
-      Event ev = pop_top();
-      if (is_cancelled(ev.id)) continue;
+    while (!queue_empty()) {
+      const Entry ev = queue_pop();
+      --pending_;
+      const std::uint32_t s = slot_of(ev.id);
+      Slot& slot = slot_ref(s);
+      if (!gen_matches(slot.gen, ev.id)) {
+        ++counters_.cancelled_skipped;
+        --cancel_backlog_;
+        continue;
+      }
       now_ = ev.time;
-      ev.cb();
+      bump_gen(slot);
+      slot.cb.consume();
+      free_slots_.push_back(s);
       ++total_executed_;
       return true;
     }
@@ -113,8 +205,10 @@ class Simulator {
 
   /// Events currently in the heap (including not-yet-skipped cancellations).
   std::uint64_t pending() const { return pending_; }
-  /// Cancelled ids waiting for their event to reach the top of the heap.
-  std::size_t cancel_backlog() const { return cancelled_.size(); }
+  /// Cancel requests whose heap entry has not yet drained. Stale cancels
+  /// (the event already fired) never drain, mirroring the original lazy
+  /// remembered-id list this counter came from.
+  std::size_t cancel_backlog() const { return cancel_backlog_; }
 
   Counters counters() const {
     Counters c = counters_;
@@ -131,55 +225,139 @@ class Simulator {
     m.counter(prefix + ".cancel_requests") = static_cast<std::int64_t>(c.cancel_requests);
     m.counter(prefix + ".cancelled_skipped") = static_cast<std::int64_t>(c.cancelled_skipped);
     m.counter(prefix + ".peak_heap_depth") = static_cast<std::int64_t>(c.peak_heap_depth);
-    m.counter(prefix + ".cancel_backlog") = static_cast<std::int64_t>(cancelled_.size());
+    m.counter(prefix + ".cancel_backlog") = static_cast<std::int64_t>(cancel_backlog_);
     m.counter(prefix + ".pending") = static_cast<std::int64_t>(pending_);
   }
 
  private:
-  struct Event {
-    SimTime time;
-    EventId id;
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+  static constexpr std::uint64_t kGenMask = (std::uint64_t{1} << 40) - 1;
+
+  static EventId make_id(std::uint32_t slot, std::uint64_t gen) {
+    return ((gen & kGenMask) << kSlotBits) | slot;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id) & kSlotMask;
+  }
+  static bool gen_matches(std::uint64_t slot_gen, EventId id) {
+    return (slot_gen & kGenMask) == (id >> kSlotBits);
+  }
+
+  /// Slot-indexed event record. `gen` advances each time the slot is retired
+  /// (fired or cancelled), invalidating outstanding ids that point at it.
+  /// Slots live in fixed-size chunks so their addresses are stable: arena
+  /// growth allocates a new chunk and never relocates engaged callbacks.
+  struct Slot {
+    std::uint64_t gen = 1;
     Callback cb;
   };
 
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
-  };
+  static constexpr int kChunkShift = 9;  // 512 slots per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
 
-  Event pop_top() {
-    // priority_queue::top() is const; move out via const_cast on the known
-    // mutable container (standard pattern; the element is removed right after).
-    Event ev = std::move(const_cast<Event&>(heap_.top()));
-    heap_.pop();
-    --pending_;
-    return ev;
+  Slot& slot_ref(std::uint32_t s) {
+    return chunks_[s >> kChunkShift][s & kChunkMask];
   }
 
-  bool is_cancelled(EventId id) {
-    for (std::size_t i = 0; i < cancelled_.size(); ++i) {
-      if (cancelled_[i] == id) {
-        cancelled_[i] = cancelled_.back();
-        cancelled_.pop_back();
-        ++counters_.cancelled_skipped;
-        return true;
-      }
+  static void bump_gen(Slot& slot) {
+    ++slot.gen;
+    // Skip the masked all-zero generation: make_id(0, gen) must never
+    // produce the reserved "no event" id 0.
+    if ((slot.gen & kGenMask) == 0) slot.gen = 1;
+  }
+
+  /// 24-byte POD heap entry; the callable stays in its slot.
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+  };
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  bool queue_empty() const { return heap_.empty() && run_.empty(); }
+
+  /// The globally next entry: the smaller of the two sorted lane heads.
+  const Entry& queue_top() const {
+    if (run_.empty()) return heap_[0];
+    if (heap_.empty() || before(run_.front(), heap_[0])) return run_.front();
+    return heap_[0];
+  }
+
+  Entry queue_pop() {
+    if (run_.empty()) return heap_pop();
+    if (heap_.empty() || before(run_.front(), heap_[0])) {
+      const Entry e = run_.front();
+      run_.pop_front();
+      return e;
     }
-    return false;
+    return heap_pop();
+  }
+
+  void heap_push(Entry e) {
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  Entry heap_pop() {
+    const Entry top = heap_[0];
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t c0 = 4 * i + 1;
+        if (c0 >= n) break;
+        std::size_t m = c0;
+        const std::size_t end = c0 + 4 < n ? c0 + 4 : n;
+        for (std::size_t c = c0 + 1; c < end; ++c)
+          if (before(heap_[c], heap_[m])) m = c;
+        if (!before(heap_[m], last)) break;
+        heap_[i] = heap_[m];
+        i = m;
+      }
+      heap_[i] = last;
+    }
+    return top;
+  }
+
+  [[noreturn]] static void slot_overflow() {
+    std::fprintf(stderr,
+                 "Simulator: more than %u concurrent events — slot index "
+                 "space exhausted\n",
+                 kSlotMask + 1);
+    std::abort();
   }
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t seq_ = 1;
   std::uint64_t pending_ = 0;
   std::uint64_t total_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  std::vector<EventId> cancelled_;
+  std::size_t cancel_backlog_ = 0;
+  util::RingQueue<Entry> run_;  // monotone fast lane (sorted, append-only)
+  std::vector<Entry> heap_;     // out-of-order arrivals
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::vector<std::uint32_t> free_slots_;
   Counters counters_;
 };
 
 /// Re-arming periodic task (used for timer packets, counter polling, meters).
+/// The user callback is stored once; each period re-arms by scheduling a
+/// two-pointer closure, so a running task allocates nothing per fire.
 class PeriodicTask {
  public:
   PeriodicTask(Simulator& sim, SimTime period, std::function<void(SimTime)> fn)
@@ -200,11 +378,17 @@ class PeriodicTask {
 
  private:
   void arm(SimTime delay) {
-    pending_ = sim_.schedule_in(delay, [this] {
-      if (stopped_) return;
-      fn_(sim_.now());
-      if (!stopped_) arm(period_);
-    });
+    pending_ = sim_.schedule_in(delay, [this] { fire(); });
+  }
+
+  void fire() {
+    // Clear the armed id before running the callback: the event is firing,
+    // so a stop() from inside fn_ must not cancel this (already consumed)
+    // id — that would leave a stale entry in the cancel backlog forever.
+    pending_ = 0;
+    if (stopped_) return;
+    fn_(sim_.now());
+    if (!stopped_) arm(period_);
   }
 
   Simulator& sim_;

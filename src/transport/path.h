@@ -41,34 +41,37 @@ class TestbedPath {
         cfg_(cfg),
         link_(sim, cfg.link, cfg.lg),
         nic_a_(sim, "nicA", cfg.rate, cfg.nic_prop),
-        nic_b_(sim, "nicB", cfg.rate, cfg.nic_prop) {
+        nic_b_(sim, "nicB", cfg.rate, cfg.nic_prop),
+        // Each hop's fixed latency is a pooled PipelineDelay stage: the
+        // scheduled closures stay within the kernel's inline-callback budget
+        // instead of capturing the Packet by value.
+        pipe_a_to_link_(sim, cfg.pipeline_latency,
+                        [this](net::Packet&& p) { link_.send_forward(std::move(p)); }),
+        pipe_b_to_link_(sim, cfg.pipeline_latency,
+                        [this](net::Packet&& p) { link_.send_reverse(std::move(p)); }),
+        pipe_to_b_(sim, cfg.pipeline_latency + cfg.host_delay,
+                   [this](net::Packet&& p) {
+                     if (to_b_) to_b_(std::move(p));
+                   }),
+        pipe_to_a_(sim, cfg.pipeline_latency + cfg.host_delay,
+                   [this](net::Packet&& p) {
+                     if (to_a_) to_a_(std::move(p));
+                   }) {
     nic_a_q_ = nic_a_.add_queue({.byte_limit = cfg.nic_queue_bytes});
     nic_b_q_ = nic_b_.add_queue({.byte_limit = cfg.nic_queue_bytes});
 
     // hostA NIC -> sender switch ingress pipeline -> protected link egress.
-    nic_a_.set_deliver([this](net::Packet&& p) {
-      sim_.schedule_in(cfg_.pipeline_latency,
-                       [this, p = std::move(p)]() mutable { link_.send_forward(std::move(p)); });
-    });
+    nic_a_.set_deliver(
+        [this](net::Packet&& p) { pipe_a_to_link_.accept(std::move(p)); });
     // hostB NIC -> receiver switch ingress pipeline -> reverse direction.
-    nic_b_.set_deliver([this](net::Packet&& p) {
-      sim_.schedule_in(cfg_.pipeline_latency,
-                       [this, p = std::move(p)]() mutable { link_.send_reverse(std::move(p)); });
-    });
+    nic_b_.set_deliver(
+        [this](net::Packet&& p) { pipe_b_to_link_.accept(std::move(p)); });
     // Protected link output -> receiver switch egress -> hostB stack.
-    link_.set_forward_sink([this](net::Packet&& p) {
-      sim_.schedule_in(cfg_.pipeline_latency + cfg_.host_delay,
-                       [this, p = std::move(p)]() mutable {
-                         if (to_b_) to_b_(std::move(p));
-                       });
-    });
+    link_.set_forward_sink(
+        [this](net::Packet&& p) { pipe_to_b_.accept(std::move(p)); });
     // Reverse output -> sender switch egress -> hostA stack.
-    link_.set_reverse_sink([this](net::Packet&& p) {
-      sim_.schedule_in(cfg_.pipeline_latency + cfg_.host_delay,
-                       [this, p = std::move(p)]() mutable {
-                         if (to_a_) to_a_(std::move(p));
-                       });
-    });
+    link_.set_reverse_sink(
+        [this](net::Packet&& p) { pipe_to_a_.accept(std::move(p)); });
   }
 
   /// Install the endpoint receive handlers.
@@ -90,6 +93,10 @@ class TestbedPath {
   lg::ProtectedLink link_;
   net::EgressPort nic_a_;
   net::EgressPort nic_b_;
+  net::PipelineDelay pipe_a_to_link_;
+  net::PipelineDelay pipe_b_to_link_;
+  net::PipelineDelay pipe_to_b_;
+  net::PipelineDelay pipe_to_a_;
   int nic_a_q_ = 0;
   int nic_b_q_ = 0;
   SinkFn to_a_;

@@ -1,0 +1,74 @@
+// Growable ring-buffer FIFO.
+//
+// Replaces `std::deque` on the packet datapath: libstdc++'s deque allocates
+// and frees ~512-byte node blocks as the head/tail cross block boundaries,
+// which for ~200-byte Packets means an allocation roughly every other frame
+// even at steady queue depth. The ring grows by doubling (amortized, warmup
+// only) and never shrinks, so a steady-state push/pop cycle allocates
+// nothing — the invariant bench_micro's allocation guard enforces for the
+// port datapath.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lgsim::util {
+
+template <typename T>
+class RingQueue {
+ public:
+  RingQueue() = default;
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  void push_back(T v) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(v);
+    ++size_;
+  }
+
+  T& front() {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+  const T& front() const {
+    assert(size_ > 0);
+    return buf_[head_];
+  }
+
+  T& back() {
+    assert(size_ > 0);
+    return buf_[(head_ + size_ - 1) & (buf_.size() - 1)];
+  }
+  const T& back() const {
+    assert(size_ > 0);
+    return buf_[(head_ + size_ - 1) & (buf_.size() - 1)];
+  }
+
+  void pop_front() {
+    assert(size_ > 0);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? kInitialCapacity : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i)
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  static constexpr std::size_t kInitialCapacity = 8;  // power of two
+
+  std::vector<T> buf_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace lgsim::util

@@ -1,0 +1,49 @@
+# Differential golden check for the event kernel, run as a ctest.
+#
+# Runs bench_fig08_stress at a fixed reduced scale with --trace and compares
+# the SHA-256 of both its stdout rows and the Chrome-trace bytes against
+# hashes recorded from the pre-overhaul kernel (std::function callbacks +
+# std::priority_queue + lazy remembered-id cancellation). The trace embeds
+# the sim.* event-loop counters, so this pins three things at once: the
+# (time, sequence) execution order, the per-event trace stream, and the
+# counter arithmetic (cancel_backlog / cancelled_skipped / peak_heap_depth).
+# Any kernel change that reorders same-timestamp events or drifts a counter
+# shows up as a hash mismatch here long before it corrupts a figure.
+#
+# Usage:
+#   cmake -DBENCH=<bench_fig08_stress> -DJOBS=<n> -DWORKDIR=<dir>
+#         -DSTDOUT_SHA=<sha256> -DTRACE_SHA=<sha256> -P fig08_golden_check.cmake
+
+foreach(var BENCH JOBS WORKDIR STDOUT_SHA TRACE_SHA)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "fig08_golden_check: ${var} not set")
+  endif()
+endforeach()
+
+set(ENV{LGSIM_BENCH_SCALE} 0.05)
+set(ENV{LGSIM_BENCH_JOBS} ${JOBS})
+set(stdout_file ${WORKDIR}/fig08_golden_j${JOBS}.stdout)
+set(trace_file ${WORKDIR}/fig08_golden_j${JOBS}.trace.json)
+
+execute_process(
+    COMMAND ${BENCH} --trace=${trace_file}
+    OUTPUT_FILE ${stdout_file}
+    RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fig08_golden_check: ${BENCH} exited with ${rc}")
+endif()
+
+file(SHA256 ${stdout_file} stdout_sha)
+file(SHA256 ${trace_file} trace_sha)
+
+if(NOT stdout_sha STREQUAL STDOUT_SHA)
+  message(FATAL_ERROR "fig08_golden_check (jobs=${JOBS}): stdout diverged from "
+      "the pre-overhaul golden\n  expected ${STDOUT_SHA}\n  got      "
+      "${stdout_sha}\n  kept: ${stdout_file}")
+endif()
+if(NOT trace_sha STREQUAL TRACE_SHA)
+  message(FATAL_ERROR "fig08_golden_check (jobs=${JOBS}): trace bytes diverged "
+      "from the pre-overhaul golden (event order or sim.* counters drifted)\n"
+      "  expected ${TRACE_SHA}\n  got      ${trace_sha}\n  kept: ${trace_file}")
+endif()
+message(STATUS "fig08 golden (jobs=${JOBS}): stdout+trace byte-identical")
