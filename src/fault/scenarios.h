@@ -1,0 +1,44 @@
+// Named fault-scenario catalogue (see EXPERIMENTS.md §"Fault scenarios").
+//
+// Each scenario is a FaultScript plus the metadata an experiment needs to
+// interpret it: the corruption onset time (the reference point for detection
+// latency), the peak scripted loss rate, and a suggested run horizon. All
+// scripts address the canonical single-link lifecycle topology by the handle
+// names "link0" (the corrupting link's loss process), "bus0" (the corruptd
+// pub-sub bus) and "mon0" (the corruptd daemon); scenarios that don't use a
+// handle simply leave it untouched.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/script.h"
+
+namespace lgsim::fault {
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  FaultScript script;
+  /// When corruption starts (detection latency = detected_at - onset).
+  SimTime onset = 0;
+  /// Suggested traffic/run horizon covering the whole script plus recovery.
+  SimTime horizon = 0;
+  /// Peak marginal loss rate the script drives (1.0 for a hard link flap).
+  double peak_rate = 0.0;
+};
+
+/// Canonical target handle names used by every catalogue scenario.
+inline constexpr const char* kLinkTarget = "link0";
+inline constexpr const char* kBusTarget = "bus0";
+inline constexpr const char* kMonitorTarget = "mon0";
+
+/// Builds a catalogue scenario by name; throws std::invalid_argument for an
+/// unknown name. Names: "onset", "ramp", "flap-storm", "burst-episode",
+/// "monitor-blind", "bus-outage".
+Scenario make_scenario(const std::string& name);
+
+/// All catalogue names, in presentation order.
+std::vector<std::string> scenario_names();
+
+}  // namespace lgsim::fault

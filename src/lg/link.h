@@ -111,6 +111,28 @@ class ProtectedLink {
   }
   bool lg_enabled() const { return sender_->enabled(); }
 
+  /// Live control-plane reconfiguration (AutoFallback, corruptd): the sender
+  /// and receiver read the link's LgConfig through a const reference, so
+  /// these take effect on the next frame processed.
+  ///
+  /// Switch between ordered LinkGuardian and LinkGuardianNB on a running
+  /// link. Sequence state is preserved (no era reset), and the receiver
+  /// performs an explicit state handoff: ordered -> NB releases the
+  /// reordering buffer in sequence order and lifts backpressure; NB ->
+  /// ordered restarts ordering at the next new frame.
+  void set_preserve_order(bool ordered) {
+    if (cfg_.preserve_order == ordered) return;
+    cfg_.preserve_order = ordered;
+    receiver_->on_mode_change();
+  }
+  bool preserve_order() const { return cfg_.preserve_order; }
+
+  /// Feed the measured loss rate (corruptd's estimate) into Eq. 2: the retx
+  /// copy count the sender uses from the next loss notification on.
+  void set_actual_loss_rate(double rate) { cfg_.actual_loss_rate = rate; }
+
+  const LgConfig& config() const { return cfg_; }
+
   LgSender& sender() { return *sender_; }
   LgReceiver& receiver() { return *receiver_; }
   const LgSender& sender() const { return *sender_; }

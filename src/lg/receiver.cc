@@ -62,6 +62,40 @@ void LgReceiver::disable() {
   }
 }
 
+void LgReceiver::on_mode_change() {
+  if (!enabled_) return;
+  if (!cfg_.preserve_order) {
+    // Ordered -> NB: release the reordering buffer in sequence order — NB
+    // forwards out of order from here on, so anything left buffered would be
+    // stranded forever. Holes stop gating delivery but stay outstanding_, so
+    // a retransmitted copy still counts as recovered, not duplicate.
+    for (auto& [v, b] : buffer_) {
+      obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kBufferRelease,
+                trace_actor_, v, 0, /*aux=mode flush*/ 2);
+      forward_now(std::move(b.pkt));
+    }
+    buffer_.clear();
+    buffer_bytes_ = 0;
+    skipped_.clear();
+    ack_no_v_ = latest_rx_v_ + 1;
+    if (bp_paused_) {
+      net::Packet r = net::make_control(net::PktKind::kPfcResume);
+      r.pfc.valid = true;
+      r.pfc.pause = false;
+      rev_port_.enqueue(ctrl_q_, std::move(r));
+      ++stats_.resumes_sent;
+      bp_paused_ = false;
+    }
+  } else {
+    // NB -> ordered: everything at or below latestRxSeqNo was already
+    // forwarded (or expired) out of order; ordering restarts from the next
+    // new sequence number. Unrecovered NB-era holes expire through their
+    // already-armed timeouts.
+    ack_no_v_ = latest_rx_v_ + 1;
+    skipped_.clear();
+  }
+}
+
 SeqEra LgReceiver::to_wire(std::int64_t v) const {
   return SeqEra{static_cast<std::uint16_t>(v & 0xFFFF),
                 static_cast<std::uint8_t>((v >> 16) & 1)};
@@ -126,14 +160,21 @@ void LgReceiver::handle_protected(net::Packet&& p) {
   }
 
   bool was_outstanding = false;
+  SimTime hole_detected_at = 0;
   if (auto it = outstanding_.find(v); it != outstanding_.end()) {
     was_outstanding = true;
-    ++stats_.recovered;
-    stats_.retx_delay_us.add(to_usec(sim_.now() - it->second));
-    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kRecover, trace_actor_, v,
-              sim_.now() - it->second);
+    hole_detected_at = it->second;
     outstanding_.erase(it);
   }
+  // Recovery is credited only where the packet is actually accepted: a retx
+  // that fills a hole ackNo already moved past (live NB -> ordered switch)
+  // is an endpoint-visible loss, not a recovery.
+  const auto credit_recovery = [&] {
+    ++stats_.recovered;
+    stats_.retx_delay_us.add(to_usec(sim_.now() - hole_detected_at));
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kRecover, trace_actor_, v,
+              sim_.now() - hole_detected_at);
+  };
 
   if (!cfg_.preserve_order) {
     // LinkGuardianNB: forward out of order; de-duplicate retransmitted
@@ -142,6 +183,7 @@ void LgReceiver::handle_protected(net::Packet&& p) {
       ++stats_.dup_dropped;
       return;
     }
+    if (was_outstanding) credit_recovery();
     forward_now(std::move(p));
     return;
   }
@@ -156,6 +198,7 @@ void LgReceiver::handle_protected(net::Packet&& p) {
     return;
   }
   if (v == ack_no_v_) {
+    if (was_outstanding) credit_recovery();
     forward_now(std::move(p));
     ++ack_no_v_;
     advance_ack_no();
@@ -175,6 +218,7 @@ void LgReceiver::handle_protected(net::Packet&& p) {
       advance_ack_no();
       return;
     }
+    if (was_outstanding) credit_recovery();
     buffer_bytes_ += p.frame_bytes;
     ++stats_.reorder_buffered;
     const SimTime phase = static_cast<SimTime>(
@@ -184,10 +228,17 @@ void LgReceiver::handle_protected(net::Packet&& p) {
     advance_ack_no();
     return;
   }
-  // v < ack_no_v_: duplicate, or a retransmission arriving after the
-  // ackNoTimeout already skipped the hole.
+  // v < ack_no_v_: duplicate, or a retransmission arriving after ackNo
+  // already moved past its hole. The latter is only reachable through a live
+  // NB -> ordered switch (ordered-mode ackNo passes a hole exclusively by
+  // erasing it from outstanding_ first); the original was never forwarded
+  // and in-order delivery can no longer include it, so it is counted as an
+  // endpoint-visible loss rather than a recovery.
   if (was_outstanding) {
     ++stats_.late_retx;
+    ++stats_.effectively_lost;
+    obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kDrop, trace_actor_, v,
+              0, /*aux=stranded retx*/ 2);
   }
   ++stats_.dup_dropped;
 }
@@ -240,8 +291,10 @@ void LgReceiver::on_timeout(std::int64_t v) {
   ++stats_.timeouts;
   obs::emit(sim_.now(), obs::Cat::kLg, obs::Kind::kTimeout, trace_actor_, v);
   // Ignore the lost packet and move on (§3.5 "Preventing transmission
-  // stalls"): the hole is skipped and any buffered successors drain.
-  skipped_.insert(v);
+  // stalls"): the hole is skipped and any buffered successors drain. A hole
+  // already behind ackNo (an NB-era timeout firing after a live switch back
+  // to ordered mode) needs no skip marker — ackNo never revisits it.
+  if (v >= ack_no_v_) skipped_.insert(v);
   advance_ack_no();
 }
 

@@ -73,6 +73,15 @@ class LgReceiver {
   void disable();
   bool enabled() const { return enabled_; }
 
+  /// Live ordered <-> NB switch (AutoFallback): cfg_.preserve_order is read
+  /// per frame, but the reordering state needs an explicit handoff when the
+  /// mode flips on a running link — ordered -> NB releases the reordering
+  /// buffer in sequence order (and lifts backpressure) so nothing is
+  /// stranded; NB -> ordered restarts ordering at the next new frame.
+  /// Sequence state is preserved, so in-flight frames keep resolving
+  /// correctly (no era reset, unlike a disable()/enable() cycle).
+  void on_mode_change();
+
   /// Frames arriving from the protected (corrupting) link.
   void receive(net::Packet&& p);
 

@@ -17,8 +17,12 @@ void Corruptd::add_port(PortCounterFn port) {
 }
 
 void Corruptd::start() {
-  task_ = std::make_unique<PeriodicTask>(sim_, cfg_.poll_period,
-                                         [this](SimTime now) { poll(now); });
+  // Reuse the task across start/stop cycles; PeriodicTask::start is
+  // restart-safe, so repeated start() never stacks poll chains.
+  if (!task_) {
+    task_ = std::make_unique<PeriodicTask>(
+        sim_, cfg_.poll_period, [this](SimTime now) { poll(now); });
+  }
   task_->start(cfg_.poll_period);
 }
 
@@ -28,6 +32,14 @@ void Corruptd::stop() {
 
 void Corruptd::poll(SimTime now) {
   ++polls_;
+  if (stalled_) {
+    // Injected driver stall: the timer fired but no counters came back.
+    ++stalled_polls_;
+    obs::emit(now, obs::Cat::kMonitor, obs::Kind::kPoll,
+              obs::intern_actor("corruptd"), polls_, stalled_polls_,
+              /*aux=stalled*/ 1);
+    return;
+  }
   obs::emit(now, obs::Cat::kMonitor, obs::Kind::kPoll,
             obs::intern_actor("corruptd"), polls_,
             static_cast<std::int64_t>(ports_.size()));
@@ -52,8 +64,12 @@ void Corruptd::poll(SimTime now) {
     if (w.win_all <= 0) continue;
     const double loss = 1.0 - static_cast<double>(w.win_ok) /
                                   static_cast<double>(w.win_all);
-    if (loss >= cfg_.threshold && !w.notified) {
+    const bool renotify_due =
+        w.notified && cfg_.renotify_period > 0 &&
+        now - w.last_notify >= cfg_.renotify_period;
+    if (loss >= cfg_.threshold && (!w.notified || renotify_due)) {
       w.notified = true;
+      w.last_notify = now;
       // Loss rate in parts-per-billion: trace records carry integers only.
       obs::emit(now, obs::Cat::kMonitor, obs::Kind::kDetect,
                 obs::intern_actor(ports_[i].link_topic),

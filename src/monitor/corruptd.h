@@ -25,15 +25,49 @@
 namespace lgsim::monitor {
 
 /// In-process stand-in for the Redis pub-sub channel the daemons share.
+///
+/// Delivery latency: a real deployment hops through a Redis instance, so a
+/// notification is not seen by subscribers in the same instant it is
+/// published. bind() a Simulator and set_delay() to model that hop; with the
+/// default delay of 0 (or no simulator bound) delivery stays synchronous —
+/// exactly the pre-existing behaviour, keeping trace goldens byte-identical.
+///
+/// Fault hooks (driven by src/fault's FaultInjector): set_drop(true) opens an
+/// outage window during which published notifications vanish (counted, still
+/// recorded in history()); set_extra_delay() adds injected control-plane
+/// latency on top of the configured hop delay.
 class PubSubBus {
  public:
   struct Notification {
     std::string topic;
     double loss_rate = 0.0;
-    SimTime at = 0;
+    SimTime at = 0;  // publish time (the publisher's clock)
+  };
+
+  struct Counters {
+    std::int64_t published = 0;
+    std::int64_t delivered = 0;  // notifications handed to >= 0 subscribers
+    std::int64_t dropped = 0;    // lost to an injected outage window
+    std::int64_t deferred = 0;   // went through the simulator (delay > 0)
   };
 
   using Handler = std::function<void(const Notification&)>;
+
+  /// Enables scheduled delivery. Without a bound simulator every publish
+  /// delivers synchronously regardless of the configured delay.
+  void bind(Simulator& sim) { sim_ = &sim; }
+
+  /// Control-plane hop latency applied to every delivery (default 0).
+  void set_delay(SimTime d) { delay_ = d; }
+  SimTime delay() const { return delay_; }
+
+  /// Fault injection: additional latency on top of the hop delay.
+  void set_extra_delay(SimTime d) { extra_delay_ = d; }
+  SimTime extra_delay() const { return extra_delay_; }
+
+  /// Fault injection: while true, published notifications are dropped.
+  void set_drop(bool drop) { drop_ = drop; }
+  bool dropping() const { return drop_; }
 
   void subscribe(const std::string& topic, Handler h) {
     subs_[topic].push_back(std::move(h));
@@ -41,26 +75,57 @@ class PubSubBus {
 
   void publish(const Notification& n) {
     history_.push_back(n);
+    ++counters_.published;
+    if (drop_) {
+      ++counters_.dropped;
+      return;
+    }
+    const SimTime hop = delay_ + extra_delay_;
+    if (hop <= 0 || sim_ == nullptr) {
+      deliver(n);
+      return;
+    }
+    ++counters_.deferred;
+    // Init-capture: a plain `[this, n]` capture of the const reference would
+    // make the member const and demote the closure's move to a throwing
+    // string copy, which the event kernel's nothrow-move contract rejects.
+    sim_->schedule_in(hop, [this, m = n] { deliver(m); });
+  }
+
+  const std::vector<Notification>& history() const { return history_; }
+  const Counters& counters() const { return counters_; }
+
+ private:
+  void deliver(const Notification& n) {
+    ++counters_.delivered;
     auto it = subs_.find(n.topic);
     if (it == subs_.end()) return;
     for (auto& h : it->second) h(n);
   }
 
-  const std::vector<Notification>& history() const { return history_; }
-
- private:
+  Simulator* sim_ = nullptr;
+  SimTime delay_ = 0;
+  SimTime extra_delay_ = 0;
+  bool drop_ = false;
   std::map<std::string, std::vector<Handler>> subs_;
   std::vector<Notification> history_;
+  Counters counters_;
 };
 
 struct CorruptdConfig {
   /// Counter polling period (1 s in the paper).
   SimTime poll_period = sec(1);
   /// Moving window length in frames (100M frames in the paper). Loss rate is
-  /// computed over the most recent window of polls covering this many frames.
+  /// computed over the most recent window of polls covering this many polls'
+  /// worth of frames.
   std::int64_t window_frames = 100'000'000;
   /// Detection threshold: activate once L >= 1e-8 (a healthy link's BER).
   double threshold = 1e-8;
+  /// While the loss rate stays above threshold, repeat the notification at
+  /// most this often — the robustness countermeasure for a lossy/flaky
+  /// control plane (a dropped notification is retried instead of lost
+  /// forever). 0 = notify exactly once per link (the original behaviour).
+  SimTime renotify_period = 0;
 };
 
 /// Counter source the daemon polls (the switch driver in production; the
@@ -87,6 +152,15 @@ class Corruptd {
   /// Current estimated loss rate for a monitored link (by topic).
   double loss_rate(const std::string& topic) const;
   std::int64_t polls() const { return polls_; }
+  std::int64_t stalled_polls() const { return stalled_polls_; }
+
+  /// Fault injection: while stalled, the poll timer still fires but the
+  /// driver does not respond — no counters are read, no loss estimate is
+  /// updated, nothing is published (a monitor-blind interval). When the
+  /// stall clears, the next successful poll reads the cumulative counters,
+  /// so the whole blind window arrives as one large delta.
+  void set_counter_stall(bool stalled) { stalled_ = stalled; }
+  bool counter_stalled() const { return stalled_; }
 
  private:
   struct Window {
@@ -100,6 +174,7 @@ class Corruptd {
     std::int64_t win_ok = 0;
     std::int64_t win_all = 0;
     bool notified = false;
+    SimTime last_notify = 0;
   };
 
   Simulator& sim_;
@@ -109,6 +184,8 @@ class Corruptd {
   std::vector<Window> windows_;
   std::unique_ptr<PeriodicTask> task_;
   std::int64_t polls_ = 0;
+  std::int64_t stalled_polls_ = 0;
+  bool stalled_ = false;
 };
 
 /// Wires a Corruptd notification to LinkGuardian activation: on first

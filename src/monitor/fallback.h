@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/units.h"
 
@@ -47,12 +48,23 @@ class AutoFallback {
 
   AutoFallback(Simulator& sim, const FallbackConfig& cfg, LossFn loss,
                ApplyFn apply)
-      : sim_(sim), cfg_(cfg), loss_(std::move(loss)), apply_(std::move(apply)) {}
+      : sim_(sim),
+        cfg_(cfg),
+        loss_(std::move(loss)),
+        apply_(std::move(apply)),
+        trace_actor_(obs::intern_actor("fallback")) {}
 
+  /// Idempotent: re-starting a running controller replaces its evaluation
+  /// chain instead of stacking a second one, and the single PeriodicTask is
+  /// reused across start/stop cycles — the original code built a fresh task
+  /// per start() and destroyed the old one while its fire event was still
+  /// armed (the stale-pending-id bug class fixed for PeriodicTask itself).
   void start(LgMode initial = LgMode::kOrdered) {
     mode_ = initial;
-    task_ = std::make_unique<PeriodicTask>(sim_, cfg_.period,
-                                           [this](SimTime t) { evaluate(t); });
+    if (!task_) {
+      task_ = std::make_unique<PeriodicTask>(
+          sim_, cfg_.period, [this](SimTime t) { evaluate(t); });
+    }
     task_->start(cfg_.period);
   }
 
@@ -60,12 +72,18 @@ class AutoFallback {
     if (task_) task_->stop();
   }
 
+  bool running() const { return task_ && task_->running(); }
+
   /// One evaluation step (also driven periodically by start()).
   void evaluate(SimTime now) {
     const double l = loss_();
     const LgMode next = pick_mode(l);
     if (next != mode_) {
       changes_.push_back({now, mode_, next, l});
+      obs::emit(now, obs::Cat::kFault, obs::Kind::kModeChange, trace_actor_,
+                static_cast<std::int64_t>(next),
+                static_cast<std::int64_t>(l * 1e9),
+                static_cast<std::uint16_t>(mode_));
       mode_ = next;
       apply_(next);
     }
@@ -103,6 +121,7 @@ class AutoFallback {
   LgMode mode_ = LgMode::kOrdered;
   std::vector<ModeChange> changes_;
   std::unique_ptr<PeriodicTask> task_;
+  std::uint32_t trace_actor_ = 0;  // obs actor id, interned at construction
 };
 
 }  // namespace lgsim::monitor

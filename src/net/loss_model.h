@@ -32,17 +32,52 @@ class NoLoss final : public LossModel {
   bool lose(SimTime, const Packet&) override { return false; }
 };
 
+/// A loss process whose intensity can be re-aimed while the simulation runs —
+/// the time-varying drive API the fault-injection subsystem (src/fault) uses
+/// to script link degradation. Two orthogonal controls:
+///
+///   * drive_rate(r): retarget the marginal loss rate. Takes effect on the
+///     next frame rolled; the RNG stream is untouched, so a drive back to the
+///     original rate replays the exact same drop decisions a never-driven
+///     model would have made from that frame on.
+///   * set_link_down(true): administratively/physically dead link — every
+///     frame is lost *without consuming an RNG draw*, so flap windows do not
+///     shift the loss pattern of the up-time around them.
+class DrivableLoss : public LossModel {
+ public:
+  bool lose(SimTime now, const Packet& p) final {
+    if (down_) return true;
+    return roll(now, p);
+  }
+
+  /// Retarget the marginal per-frame loss rate; next frame sees it.
+  virtual void drive_rate(double rate) = 0;
+  /// The rate the process is currently aimed at (marginal, link-up).
+  virtual double driven_rate() const = 0;
+
+  void set_link_down(bool down) { down_ = down; }
+  bool link_down() const { return down_; }
+
+ private:
+  virtual bool roll(SimTime now, const Packet& p) = 0;
+
+  bool down_ = false;
+};
+
 /// Independent and identically distributed corruption at a fixed rate.
-class BernoulliLoss final : public LossModel {
+class BernoulliLoss final : public DrivableLoss {
  public:
   BernoulliLoss(double rate, Rng rng) : rate_(rate), rng_(rng) {}
-
-  bool lose(SimTime, const Packet&) override { return rng_.bernoulli(rate_); }
 
   void set_rate(double rate) { rate_ = rate; }
   double rate() const { return rate_; }
 
+  void drive_rate(double rate) override { rate_ = rate; }
+  double driven_rate() const override { return rate_; }
+
  private:
+  bool roll(SimTime, const Packet&) override { return rng_.bernoulli(rate_); }
+
   double rate_;
   Rng rng_;
 };
@@ -50,7 +85,7 @@ class BernoulliLoss final : public LossModel {
 /// Two-state Gilbert-Elliott model. In the good state frames are lost with
 /// probability `loss_good` (usually 0); in the bad state with `loss_bad`.
 /// State transitions are evaluated per frame.
-class GilbertElliottLoss final : public LossModel {
+class GilbertElliottLoss final : public DrivableLoss {
  public:
   struct Params {
     double p_good_to_bad = 0.0;  // per frame
@@ -60,15 +95,6 @@ class GilbertElliottLoss final : public LossModel {
   };
 
   GilbertElliottLoss(Params params, Rng rng) : params_(params), rng_(rng) {}
-
-  bool lose(SimTime, const Packet&) override {
-    if (bad_) {
-      if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
-    } else {
-      if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
-    }
-    return rng_.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
-  }
 
   /// Builds parameters yielding average loss `rate` with mean burst length
   /// `mean_burst` (in frames). The stationary fraction of bad-state frames is
@@ -83,9 +109,51 @@ class GilbertElliottLoss final : public LossModel {
     return p;
   }
 
+  /// Mid-run re-parameterisation (burst-episode injection): the chain keeps
+  /// its current good/bad state and RNG position; the new transition and loss
+  /// probabilities apply from the next frame.
+  void set_params(Params params) { params_ = params; }
+  const Params& params() const { return params_; }
+
+  /// Mean burst length implied by the current parameters (frames).
+  double mean_burst() const {
+    return params_.p_bad_to_good > 0.0 ? 1.0 / params_.p_bad_to_good : 1.0;
+  }
+
+  /// Retarget the marginal loss rate, preserving the burst length. A rate of
+  /// 0 pins the chain parameters so it can never enter (and always leaves)
+  /// the bad state — the "healthy link before onset" configuration.
+  void drive_rate(double rate) override {
+    if (rate <= 0.0) {
+      params_.p_good_to_bad = 0.0;
+      params_.loss_good = 0.0;
+      return;
+    }
+    if (rate >= 1.0) rate = 1.0 - 1e-12;
+    params_ = for_rate(rate, mean_burst());
+  }
+
+  double driven_rate() const override {
+    // Stationary bad fraction x loss_bad + good fraction x loss_good.
+    const double g2b = params_.p_good_to_bad;
+    const double b2g = params_.p_bad_to_good;
+    if (g2b + b2g <= 0.0) return params_.loss_good;
+    const double bad_frac = g2b / (g2b + b2g);
+    return bad_frac * params_.loss_bad + (1.0 - bad_frac) * params_.loss_good;
+  }
+
   bool in_bad_state() const { return bad_; }
 
  private:
+  bool roll(SimTime, const Packet&) override {
+    if (bad_) {
+      if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
+    } else {
+      if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
+    }
+    return rng_.bernoulli(bad_ ? params_.loss_bad : params_.loss_good);
+  }
+
   Params params_;
   Rng rng_;
   bool bad_ = false;

@@ -56,9 +56,10 @@ enum class Cat : std::uint8_t {
   kTransport,
   kMonitor,
   kPhy,
+  kFault,
 };
 inline constexpr const char* kCatNames[] = {
-    "sim", "port", "lg", "pfc", "transport", "monitor", "phy"};
+    "sim", "port", "lg", "pfc", "transport", "monitor", "phy", "fault"};
 inline constexpr std::size_t kNumCats = sizeof(kCatNames) / sizeof(kCatNames[0]);
 
 /// Event kind — the record's verb; becomes the "name" field in the export
@@ -84,12 +85,17 @@ enum class Kind : std::uint8_t {
   kFlowStart,
   kFlowEnd,
   kCounter,
+  // Appended after kCounter so every pre-existing record keeps its encoded
+  // kind byte (the fig08 trace goldens pin those bytes).
+  kInject,      // a scripted fault event was applied (src/fault)
+  kModeChange,  // protection mode transition (AutoFallback)
 };
 inline constexpr const char* kKindNames[] = {
     "enqueue",        "dequeue", "drop",  "corrupt",   "deliver",
     "retx",           "recover", "ack",   "loss_notif", "gap_detect",
     "buffer_release", "timeout", "pause", "resume",    "poll",
-    "detect",         "activate", "flow_start", "flow_end", "counter"};
+    "detect",         "activate", "flow_start", "flow_end", "counter",
+    "inject",         "mode_change"};
 inline constexpr std::size_t kNumKinds =
     sizeof(kKindNames) / sizeof(kKindNames[0]);
 

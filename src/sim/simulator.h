@@ -363,7 +363,19 @@ class PeriodicTask {
   PeriodicTask(Simulator& sim, SimTime period, std::function<void(SimTime)> fn)
       : sim_(sim), period_(period), fn_(std::move(fn)) {}
 
+  /// A task destroyed while armed cancels its fire event: the scheduled
+  /// closure captures `this`, so letting it outlive the task is a
+  /// use-after-free (the bug AutoFallback used to hit by rebuilding its task
+  /// per start()).
+  ~PeriodicTask() { sim_.cancel(pending_); }
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  /// Idempotent: starting an already-running task re-arms it (the previous
+  /// pending fire is cancelled) instead of stacking a second fire chain.
   void start(SimTime first_delay = 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
     stopped_ = false;
     arm(first_delay);
   }

@@ -107,6 +107,42 @@ TEST(Bidirectional, PfcRedundancySurvivesReverseLoss) {
   EXPECT_EQ(h.delivered + rs.effectively_lost, 200'000);
 }
 
+TEST(LiveModeSwitch, OrderedToNbAndBackLosesNothingToTheSwitchItself) {
+  // Flip a running link ordered -> NB -> ordered mid-stream (what
+  // AutoFallback does). The handoff must strand nothing: every injected
+  // frame is either forwarded exactly once or accounted as effectively lost.
+  BidirHarness h;
+  h.make(/*fwd=*/1e-3, /*rev=*/0.0);
+  const int n = 100'000;
+  h.inject(n);
+  // 100k MTU frames at 100G drain in ~12.5 ms; switch modes mid-drain.
+  h.sim.schedule_at(msec(4), [&] { h.link->set_preserve_order(false); });
+  h.sim.schedule_at(msec(8), [&] { h.link->set_preserve_order(true); });
+  h.sim.run();
+
+  const auto& rs = h.link->receiver().stats();
+  EXPECT_TRUE(h.link->preserve_order());
+  EXPECT_EQ(h.delivered + rs.effectively_lost, n);
+  EXPECT_EQ(rs.reorder_drops, 0);
+  // Only the NB window and the switch edge may leak losses; the bulk of the
+  // corrupted frames were recovered by retransmission.
+  EXPECT_GT(rs.recovered, 50);
+  EXPECT_LE(rs.effectively_lost, 10);
+  EXPECT_FALSE(h.link->receiver().backpressured());
+}
+
+TEST(LiveModeSwitch, RedundantFlipIsANoOp) {
+  BidirHarness h;
+  h.make(1e-3, 0.0);
+  h.inject(10'000);
+  // Same-mode "switches" must not disturb the reordering state.
+  h.sim.schedule_at(msec(1), [&] { h.link->set_preserve_order(true); });
+  h.sim.run();
+  const auto& rs = h.link->receiver().stats();
+  EXPECT_EQ(h.delivered + rs.effectively_lost, 10'000);
+  EXPECT_TRUE(h.ordered);
+}
+
 }  // namespace
 }  // namespace lgsim::lg
 
@@ -159,6 +195,67 @@ TEST(AutoFallback, StepsDownAndRecoversWithHysteresis) {
   EXPECT_EQ(applied[2], LgMode::kNonBlocking);
   EXPECT_EQ(applied[3], LgMode::kOrdered);
   EXPECT_EQ(fb.changes().size(), 4u);
+}
+
+TEST(AutoFallback, RestartIsIdempotentAndDoesNotStackEvaluationChains) {
+  Simulator sim;
+  FallbackConfig cfg;
+  cfg.period = msec(1);
+  int evals = 0;
+  AutoFallback fb(sim, cfg, [&] { ++evals; return 1e-4; },
+                  [](LgMode) {});
+  fb.start();
+  fb.start();  // double start must replace, not stack, the chain
+  sim.run(msec(10) + usec(1));
+  EXPECT_EQ(evals, 10);
+  EXPECT_TRUE(fb.running());
+  fb.stop();
+  fb.stop();  // idempotent
+  EXPECT_FALSE(fb.running());
+}
+
+TEST(AutoFallback, StopThenRestartResumesEvaluation) {
+  Simulator sim;
+  FallbackConfig cfg;
+  cfg.period = msec(1);
+  int evals = 0;
+  AutoFallback fb(sim, cfg, [&] { ++evals; return 1e-4; },
+                  [](LgMode) {});
+  fb.start();
+  sim.run(msec(3) + usec(1));
+  fb.stop();
+  sim.run(msec(8));  // dormant: the armed fire was cancelled
+  EXPECT_EQ(evals, 3);
+  fb.start();
+  sim.run(msec(12) + usec(1));
+  EXPECT_EQ(evals, 7);
+  fb.stop();
+}
+
+TEST(AutoFallback, OscillationAroundThresholdDoesNotFlap) {
+  // Loss bouncing just around nb_threshold: the first crossing demotes to
+  // NB, but stepping back up needs loss < nb_threshold * recover_factor —
+  // hysteresis holds the mode through the oscillation.
+  Simulator sim;
+  FallbackConfig cfg;
+  cfg.nb_threshold = 5e-3;
+  cfg.recover_factor = 0.5;
+  cfg.period = msec(1);
+  bool high = false;
+  AutoFallback fb(
+      sim, cfg,
+      [&] {
+        high = !high;
+        return high ? 5.1e-3 : 4.9e-3;
+      },
+      [](LgMode) {});
+  fb.start();
+  sim.run(msec(20) + usec(1));
+  fb.stop();
+
+  ASSERT_EQ(fb.changes().size(), 1u);
+  EXPECT_EQ(fb.changes()[0].to, LgMode::kNonBlocking);
+  EXPECT_EQ(fb.mode(), LgMode::kNonBlocking);
 }
 
 TEST(AutoFallback, ModeNames) {
