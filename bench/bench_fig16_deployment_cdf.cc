@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   using namespace lgsim::corropt;
   bench::banner("Figure 16", "1-year deployment CDFs: penalty gain & capacity cost");
 
-  const std::int32_t pods = static_cast<std::int32_t>(bench::scaled(130, 16));
+  const std::int32_t pods = static_cast<std::int32_t>(bench::scaled(260, 16));
   const double months = bench::scale() >= 1.0 ? 12.0 : 3.0;
 
   // All four year-long runs (2 constraints x {vanilla, LG}) fanned out over

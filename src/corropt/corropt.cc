@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "fabric/naive_metrics.h"
+
 namespace lgsim::corropt {
 
 const std::vector<LossBucket>& table1_buckets() {
@@ -17,7 +19,15 @@ const std::vector<LossBucket>& table1_buckets() {
 
 double sample_loss_rate(Rng& rng) {
   const auto& buckets = table1_buckets();
-  double u = rng.uniform();
+  // The Table 1 fractions sum to 0.9999 (the paper rounds to four digits);
+  // without normalization ~1e-4 of all draws would skip every bucket and
+  // land on the hard cap below instead of a log-uniform draw.
+  static const double total = [] {
+    double t = 0.0;
+    for (const auto& b : table1_buckets()) t += b.fraction;
+    return t;
+  }();
+  double u = rng.uniform() * total;
   for (const auto& b : buckets) {
     if (u < b.fraction) {
       // Log-uniform within the bucket.
@@ -26,28 +36,56 @@ double sample_loss_rate(Rng& rng) {
     }
     u -= b.fraction;
   }
+  // Unreachable barring floating-point rounding on the final subtraction.
   return buckets.back().hi;
 }
 
-std::vector<CorruptionEvent> generate_trace(std::int64_t n_links,
-                                            double duration_hours,
-                                            double mttf_hours, Rng& rng) {
-  std::vector<CorruptionEvent> trace;
+namespace {
+
+/// Decorrelates per-link RNG streams from one base seed (SplitMix64
+/// finalizer over base + link). Each link's failure/loss draws are a fixed
+/// function of (base, link) — independent of how many events other links
+/// produced, which is what lets the stream draw them lazily in pop order.
+std::uint64_t per_link_seed(std::uint64_t base, std::int64_t link) {
+  std::uint64_t z =
+      base + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(link) + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CorruptionStream::CorruptionStream(std::int64_t n_links, double duration_hours,
+                                   double mttf_hours, Rng& rng)
+    : duration_hours_(duration_hours), mttf_hours_(mttf_hours) {
+  const std::uint64_t base = rng.next_u64();
   for (std::int64_t l = 0; l < n_links; ++l) {
     // Weibull with shape 1 (Appendix D, Eq. 3): memoryless inter-failure
     // times with mean MTTF. A link can fail repeatedly within the horizon;
     // subsequent failures only matter once it has been repaired, which the
     // deployment simulation enforces.
-    double t = rng.weibull(1.0, mttf_hours);
-    while (t < duration_hours) {
-      trace.push_back({t, l, sample_loss_rate(rng)});
-      t += rng.weibull(1.0, mttf_hours);
-    }
+    Entry e{0.0, l, Rng(per_link_seed(base, l))};
+    e.time_hours = e.rng.weibull(1.0, mttf_hours_);
+    if (e.time_hours < duration_hours_) heap_.push(std::move(e));
   }
-  std::sort(trace.begin(), trace.end(),
-            [](const CorruptionEvent& a, const CorruptionEvent& b) {
-              return a.time_hours < b.time_hours;
-            });
+}
+
+CorruptionEvent CorruptionStream::pop() {
+  Entry e = heap_.top();
+  heap_.pop();
+  const CorruptionEvent ev{e.time_hours, e.link, sample_loss_rate(e.rng)};
+  e.time_hours += e.rng.weibull(1.0, mttf_hours_);
+  if (e.time_hours < duration_hours_) heap_.push(std::move(e));
+  return ev;
+}
+
+std::vector<CorruptionEvent> generate_trace(std::int64_t n_links,
+                                            double duration_hours,
+                                            double mttf_hours, Rng& rng) {
+  CorruptionStream stream(n_links, duration_hours, mttf_hours, rng);
+  std::vector<CorruptionEvent> trace;
+  while (!stream.done()) trace.push_back(stream.pop());
   return trace;
 }
 
@@ -68,23 +106,67 @@ struct RepairEvent {
   bool operator>(const RepairEvent& o) const { return time_hours > o.time_hours; }
 };
 
+/// Links waiting for an optimizer pass (corrupting but not disablable yet),
+/// kept ordered by (loss_rate desc, link asc) — the greedy optimizer's
+/// consideration order. Replaces the seed implementation's full re-sort on
+/// every repair event with one binary-search insertion per admitted link and
+/// an in-place stable compaction per pass. (A heap would be strictly worse
+/// here: every pass must visit *all* entries in order, which a heap only
+/// yields by popping and re-pushing the survivors.)
+class ActiveCorrupting {
+ public:
+  struct Entry {
+    double loss_rate;
+    std::int64_t link;
+  };
+
+  void insert(double loss_rate, std::int64_t link) {
+    const Entry e{loss_rate, link};
+    entries_.insert(std::upper_bound(entries_.begin(), entries_.end(), e,
+                                     [](const Entry& a, const Entry& b) {
+                                       if (a.loss_rate != b.loss_rate)
+                                         return a.loss_rate > b.loss_rate;
+                                       return a.link < b.link;
+                                     }),
+                    e);
+  }
+
+  /// Calls `disable(link)` for each entry it should drop (in order); keeps
+  /// the rest, preserving order.
+  template <typename Pred, typename Disable>
+  void drop_if(Pred pred, Disable disable) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (pred(entries_[i].link)) {
+        disable(entries_[i].link);
+      } else {
+        entries_[kept++] = entries_[i];
+      }
+    }
+    entries_.resize(kept);
+  }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
 }  // namespace
 
 DeploymentResult run_deployment(const DeploymentConfig& cfg) {
   DeploymentResult res;
   res.cfg = cfg;
 
+  using fabric::LinkTransition;
+  using fabric::NaiveFabricMetrics;
   fabric::FabricTopology topo(cfg.topo);
   Rng rng(cfg.seed);
   Rng repair_rng = rng.split();
-  const auto trace =
-      generate_trace(topo.n_links(), cfg.duration_hours, cfg.mttf_hours, rng);
-  res.corruption_events = static_cast<std::int64_t>(trace.size());
+  CorruptionStream stream(topo.n_links(), cfg.duration_hours, cfg.mttf_hours,
+                          rng);
 
   std::priority_queue<RepairEvent, std::vector<RepairEvent>, std::greater<>>
       repairs;
-  // Links waiting for an optimizer pass (corrupting but not disablable yet).
-  std::vector<std::int64_t> active_corrupting;
+  ActiveCorrupting active_corrupting;
 
   auto repair_duration = [&]() {
     return repair_rng.bernoulli(cfg.repair_fast_fraction) ? cfg.repair_fast_hours
@@ -92,95 +174,91 @@ DeploymentResult run_deployment(const DeploymentConfig& cfg) {
   };
 
   auto disable_link = [&](std::int64_t id, double now) {
-    auto& l = topo.link(id);
-    l.up = false;
-    l.lg_enabled = false;
-    l.effective_speed = 1.0;
+    topo.apply({LinkTransition::Kind::kDisable, id});
     repairs.push({now + repair_duration(), id});
   };
 
   auto start_corruption = [&](const CorruptionEvent& ev) {
-    auto& l = topo.link(ev.link);
+    const auto& l = topo.link(ev.link);
     if (!l.up || l.corrupting) return;  // already down or already corrupting
-    l.corrupting = true;
-    l.loss_rate = ev.loss_rate;
+    topo.apply({LinkTransition::Kind::kCorrupt, ev.link, ev.loss_rate});
     if (cfg.use_linkguardian) {
       // §3.6: activate LinkGuardian immediately, then try to disable.
-      l.lg_enabled = true;
-      l.effective_speed = lg_effective_speed(ev.loss_rate);
+      topo.apply({LinkTransition::Kind::kEnableLg, ev.link, 0.0,
+                  lg_effective_speed(ev.loss_rate)});
     }
     if (topo.can_disable(ev.link, cfg.capacity_constraint)) {
       ++res.disabled_immediately;
       disable_link(ev.link, ev.time_hours);
     } else {
       ++res.kept_active;
-      active_corrupting.push_back(ev.link);
+      active_corrupting.insert(ev.loss_rate, ev.link);
     }
   };
 
   auto run_optimizer = [&](double now) {
     // Greedy CorrOpt optimizer: consider remaining corrupting links in
     // decreasing loss-rate order and disable whatever now fits.
-    std::sort(active_corrupting.begin(), active_corrupting.end(),
-              [&](std::int64_t a, std::int64_t b) {
-                return topo.link(a).loss_rate > topo.link(b).loss_rate;
-              });
-    std::vector<std::int64_t> still_active;
-    for (std::int64_t id : active_corrupting) {
-      auto& l = topo.link(id);
-      if (!l.up || !l.corrupting) continue;
-      if (topo.can_disable(id, cfg.capacity_constraint)) {
-        ++res.disabled_by_optimizer;
-        disable_link(id, now);
-      } else {
-        still_active.push_back(id);
-      }
-    }
-    active_corrupting = std::move(still_active);
+    active_corrupting.drop_if(
+        [&](std::int64_t id) {
+          return topo.can_disable(id, cfg.capacity_constraint);
+        },
+        [&](std::int64_t id) {
+          ++res.disabled_by_optimizer;
+          disable_link(id, now);
+        });
   };
 
-  // Main loop: merge the corruption trace, repair completions, and periodic
+  // Main loop: merge the corruption stream, repair completions, and periodic
   // metric sampling in time order.
-  std::size_t ti = 0;
   double next_sample = cfg.sample_period_hours;
   double now = 0.0;
   while (now < cfg.duration_hours) {
-    double t_trace = ti < trace.size() ? trace[ti].time_hours : 1e18;
-    double t_repair = !repairs.empty() ? repairs.top().time_hours : 1e18;
-    double t_next = std::min({t_trace, t_repair, next_sample});
+    const double t_trace = !stream.done() ? stream.next_time_hours() : 1e18;
+    const double t_repair = !repairs.empty() ? repairs.top().time_hours : 1e18;
+    const double t_next = std::min({t_trace, t_repair, next_sample});
     if (t_next >= cfg.duration_hours) break;
     now = t_next;
     if (t_next == t_trace) {
-      start_corruption(trace[ti++]);
+      ++res.corruption_events;
+      start_corruption(stream.pop());
     } else if (t_next == t_repair) {
       const auto ev = repairs.top();
       repairs.pop();
-      auto& l = topo.link(ev.link);
-      l.up = true;
-      l.corrupting = false;
-      l.loss_rate = 0.0;
-      l.lg_enabled = false;
-      l.effective_speed = 1.0;
+      topo.apply({LinkTransition::Kind::kRepair, ev.link});
       // A repaired link returning is CorrOpt's trigger to re-optimize.
       run_optimizer(now);
     } else {
       DeploymentSample s;
       s.time_hours = now;
-      s.total_penalty = topo.total_penalty(cfg.lg_target_loss);
-      s.least_paths_frac = topo.least_paths_per_tor_frac();
-      s.least_capacity_frac = topo.least_capacity_per_pod_frac();
-      s.corrupting_links = 0;
-      s.disabled_links = 0;
-      s.lg_links = 0;
-      for (std::int64_t i = 0; i < topo.n_links(); ++i) {
-        const auto& l = topo.link(i);
-        if (!l.up) ++s.disabled_links;
-        if (l.up && l.corrupting) ++s.corrupting_links;
-        if (l.up && l.lg_enabled) ++s.lg_links;
+      if (cfg.naive_metrics) {
+        // Pre-refactor reference path: full O(links) scans per sample.
+        s.total_penalty = NaiveFabricMetrics::total_penalty(topo, cfg.lg_target_loss);
+        s.least_paths_frac = NaiveFabricMetrics::least_paths_per_tor_frac(topo);
+        s.least_capacity_frac =
+            NaiveFabricMetrics::least_capacity_per_pod_frac(topo);
+        s.corrupting_links = 0;
+        s.disabled_links = 0;
+        s.lg_links = 0;
+        for (std::int64_t i = 0; i < topo.n_links(); ++i) {
+          const auto& l = topo.link(i);
+          if (!l.up) ++s.disabled_links;
+          if (l.up && l.corrupting) ++s.corrupting_links;
+          if (l.up && l.lg_enabled) ++s.lg_links;
+        }
+        res.max_lg_per_switch = std::max(
+            res.max_lg_per_switch, NaiveFabricMetrics::max_lg_links_per_switch(topo));
+      } else {
+        s.total_penalty = topo.total_penalty(cfg.lg_target_loss);
+        s.least_paths_frac = topo.least_paths_per_tor_frac();
+        s.least_capacity_frac = topo.least_capacity_per_pod_frac();
+        s.corrupting_links = static_cast<std::int32_t>(topo.corrupting_up_links());
+        s.disabled_links = static_cast<std::int32_t>(topo.disabled_links());
+        s.lg_links = static_cast<std::int32_t>(topo.lg_up_links());
+        res.max_lg_per_switch =
+            std::max(res.max_lg_per_switch, topo.max_lg_links_per_switch());
       }
       res.samples.push_back(s);
-      res.max_lg_per_switch =
-          std::max(res.max_lg_per_switch, topo.max_lg_links_per_switch());
       next_sample += cfg.sample_period_hours;
     }
   }

@@ -11,6 +11,16 @@
 // (§3.6) additionally activates LinkGuardian the moment corruption is
 // detected, so links that cannot be disabled keep a residual loss of at most
 // the operator target.
+//
+// Scale (DESIGN.md §11): the year-long paper-scale run (~100K links) streams
+// corruption events from a per-link next-failure heap (`CorruptionStream`)
+// instead of materializing and sorting the whole horizon's trace — O(links)
+// state instead of O(events) — and reads every per-sample metric from the
+// FabricTopology incremental capacity engine. The pre-refactor full-scan
+// metrics remain available behind `DeploymentConfig::naive_metrics`
+// (fabric/naive_metrics.h); both paths produce bit-identical
+// `DeploymentResult`s, which the differential tests and `bench_deploy`
+// enforce.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +42,9 @@ struct LossBucket {
 const std::vector<LossBucket>& table1_buckets();
 
 /// Draw a corruption loss rate from the Table 1 distribution (log-uniform
-/// within the bucket).
+/// within the bucket). The bucket choice is normalized by the total of the
+/// Table 1 fractions (0.9999 — the paper's percentages are rounded), so no
+/// probability mass silently falls through to the 10% hard cap.
 double sample_loss_rate(Rng& rng);
 
 struct CorruptionEvent {
@@ -41,7 +53,42 @@ struct CorruptionEvent {
   double loss_rate;
 };
 
-/// Generates the corruption trace of Appendix D for a topology of n links.
+/// Streams the corruption trace of Appendix D in time order without ever
+/// materializing it: a min-heap over per-link next-failure entries, each
+/// carrying its own RNG stream (seeded from `rng` and the link id). Popping
+/// an event draws that link's loss rate and next failure lazily, so memory
+/// stays O(links) regardless of the horizon. Ties on time break by link id,
+/// making the stream fully deterministic.
+class CorruptionStream {
+ public:
+  CorruptionStream(std::int64_t n_links, double duration_hours,
+                   double mttf_hours, Rng& rng);
+
+  bool done() const { return heap_.empty(); }
+  /// Time of the next event; only valid when !done().
+  double next_time_hours() const { return heap_.top().time_hours; }
+  CorruptionEvent pop();
+
+ private:
+  struct Entry {
+    double time_hours;
+    std::int64_t link;
+    Rng rng;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time_hours != b.time_hours) return a.time_hours > b.time_hours;
+      return a.link > b.link;
+    }
+  };
+
+  double duration_hours_;
+  double mttf_hours_;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+};
+
+/// Generates the corruption trace of Appendix D for a topology of n links by
+/// draining a CorruptionStream: identical events, (time, link)-sorted.
 std::vector<CorruptionEvent> generate_trace(std::int64_t n_links,
                                             double duration_hours,
                                             double mttf_hours, Rng& rng);
@@ -60,6 +107,11 @@ struct DeploymentConfig {
   /// Metric sampling period.
   double sample_period_hours = 1.0;
   std::uint64_t seed = 7;
+  /// Compute per-sample metrics with the scan-based NaiveFabricMetrics
+  /// reference instead of the incremental engine. Same events, same RNG
+  /// streams — the DeploymentResult must be bit-identical either way (the
+  /// differential tests and bench_deploy --smoke assert this).
+  bool naive_metrics = false;
 };
 
 struct DeploymentSample {

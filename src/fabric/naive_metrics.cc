@@ -1,0 +1,155 @@
+#include "fabric/naive_metrics.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace lgsim::fabric {
+
+std::int32_t NaiveFabricMetrics::up_spine_links(const FabricTopology& topo,
+                                                std::int32_t pod,
+                                                std::int32_t fabric) {
+  const auto& cfg = topo.config();
+  std::int32_t n = 0;
+  for (std::int32_t s = 0; s < cfg.spines_per_plane; ++s) {
+    if (topo.link(topo.fabric_spine_link(pod, fabric, s)).up) ++n;
+  }
+  return n;
+}
+
+std::int64_t NaiveFabricMetrics::paths_per_tor(const FabricTopology& topo,
+                                               std::int32_t pod,
+                                               std::int32_t tor) {
+  const auto& cfg = topo.config();
+  std::int64_t paths = 0;
+  for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+    if (!topo.link(topo.tor_fabric_link(pod, tor, f)).up) continue;
+    paths += up_spine_links(topo, pod, f);
+  }
+  return paths;
+}
+
+double NaiveFabricMetrics::least_paths_per_tor_frac(
+    const FabricTopology& topo) {
+  const auto& cfg = topo.config();
+  const double max_paths = static_cast<double>(topo.max_paths_per_tor());
+  double least = 1.0;
+  for (std::int32_t p = 0; p < cfg.pods; ++p) {
+    // up_spine_links is shared by all ToRs of the pod; compute it once.
+    // (Safe: the constructor rejects fabrics_per_pod > kMaxFabricsPerPod.)
+    std::int32_t up_spines[kMaxFabricsPerPod];
+    for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f)
+      up_spines[f] = up_spine_links(topo, p, f);
+    for (std::int32_t t = 0; t < cfg.tors_per_pod; ++t) {
+      std::int64_t paths = 0;
+      for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+        if (topo.link(topo.tor_fabric_link(p, t, f)).up) paths += up_spines[f];
+      }
+      least = std::min(least, static_cast<double>(paths) / max_paths);
+    }
+  }
+  return least;
+}
+
+bool NaiveFabricMetrics::can_disable(const FabricTopology& topo,
+                                     std::int64_t link_id, double constraint) {
+  const auto& cfg = topo.config();
+  const Link& l = topo.link(link_id);
+  if (!l.up) return true;
+  const double max_paths = static_cast<double>(topo.max_paths_per_tor());
+  std::int32_t up_spines[kMaxFabricsPerPod];
+  for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f)
+    up_spines[f] = up_spine_links(topo, l.pod, f);
+
+  if (l.layer == LinkLayer::kTorFabric) {
+    // Only this ToR is affected: it loses up_spines[l.fabric] paths.
+    std::int64_t paths = 0;
+    for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+      if (f == l.fabric) continue;
+      if (topo.link(topo.tor_fabric_link(l.pod, l.tor, f)).up)
+        paths += up_spines[f];
+    }
+    return static_cast<double>(paths) / max_paths >= constraint;
+  }
+  // Fabric-spine: every ToR of the pod connected to this fabric switch loses
+  // one path through it.
+  up_spines[l.fabric] -= 1;
+  for (std::int32_t t = 0; t < cfg.tors_per_pod; ++t) {
+    std::int64_t paths = 0;
+    for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+      if (topo.link(topo.tor_fabric_link(l.pod, t, f)).up)
+        paths += up_spines[f];
+    }
+    if (static_cast<double>(paths) / max_paths < constraint) return false;
+  }
+  return true;
+}
+
+double NaiveFabricMetrics::least_capacity_per_pod_frac(
+    const FabricTopology& topo) {
+  const auto& cfg = topo.config();
+  double least = 1.0;
+  for (std::int32_t p = 0; p < cfg.pods; ++p) {
+    double tf = 0.0, fs = 0.0;
+    for (std::int32_t t = 0; t < cfg.tors_per_pod; ++t) {
+      for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+        const Link& l = topo.link(topo.tor_fabric_link(p, t, f));
+        if (l.up) tf += l.effective_speed;
+      }
+    }
+    for (std::int32_t f = 0; f < cfg.fabrics_per_pod; ++f) {
+      for (std::int32_t s = 0; s < cfg.spines_per_plane; ++s) {
+        const Link& l = topo.link(topo.fabric_spine_link(p, f, s));
+        if (l.up) fs += l.effective_speed;
+      }
+    }
+    const double nominal_tf =
+        static_cast<double>(cfg.tors_per_pod) * cfg.fabrics_per_pod;
+    const double nominal_fs =
+        static_cast<double>(cfg.fabrics_per_pod) * cfg.spines_per_plane;
+    // ToR->spine capacity is bounded by the thinner layer.
+    const double cap = std::min(tf / nominal_tf, fs / nominal_fs);
+    least = std::min(least, cap);
+  }
+  return least;
+}
+
+double NaiveFabricMetrics::total_penalty(const FabricTopology& topo,
+                                         double lg_target_loss) {
+  double penalty = 0.0;
+  for (std::int64_t id = 0; id < topo.n_links(); ++id) {
+    const Link& l = topo.link(id);
+    if (!l.up || !l.corrupting) continue;
+    penalty += link_penalty(l, lg_target_loss);
+  }
+  return penalty;
+}
+
+std::int32_t NaiveFabricMetrics::max_lg_links_per_switch(
+    const FabricTopology& topo) {
+  const auto& cfg = topo.config();
+  // Count LG-enabled links per transmitting switch. For ToR-fabric links
+  // corruption is unidirectional: the protecting sender is the ToR (or the
+  // fabric switch for fabric-spine links).
+  std::vector<std::int32_t> per_fabric(
+      static_cast<std::size_t>(cfg.pods) * cfg.fabrics_per_pod, 0);
+  std::vector<std::int32_t> per_tor(
+      static_cast<std::size_t>(cfg.pods) * cfg.tors_per_pod, 0);
+  std::int32_t worst = 0;
+  for (std::int64_t id = 0; id < topo.n_links(); ++id) {
+    const Link& l = topo.link(id);
+    if (!l.lg_enabled || !l.up) continue;
+    if (l.layer == LinkLayer::kTorFabric) {
+      auto& c =
+          per_tor[static_cast<std::size_t>(l.pod) * cfg.tors_per_pod + l.tor];
+      worst = std::max(worst, ++c);
+    } else {
+      auto& c = per_fabric[static_cast<std::size_t>(l.pod) *
+                               cfg.fabrics_per_pod +
+                           l.fabric];
+      worst = std::max(worst, ++c);
+    }
+  }
+  return worst;
+}
+
+}  // namespace lgsim::fabric

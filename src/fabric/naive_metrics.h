@@ -1,0 +1,30 @@
+// Scan-based reference implementation of the FabricTopology capacity
+// metrics — the pre-incremental-engine algorithms, kept verbatim so that
+// (a) randomized differential tests can pin the incremental aggregates
+// bit-identical to a full recomputation, and (b) `bench_deploy` can measure
+// the speedup of the incremental engine against the original O(links)
+// scans. Every function recomputes from the raw link records only; none
+// touches the maintained aggregates.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/topology.h"
+
+namespace lgsim::fabric {
+
+struct NaiveFabricMetrics {
+  static std::int32_t up_spine_links(const FabricTopology& topo,
+                                     std::int32_t pod, std::int32_t fabric);
+  static std::int64_t paths_per_tor(const FabricTopology& topo,
+                                    std::int32_t pod, std::int32_t tor);
+  static double least_paths_per_tor_frac(const FabricTopology& topo);
+  static bool can_disable(const FabricTopology& topo, std::int64_t link_id,
+                          double constraint);
+  static double least_capacity_per_pod_frac(const FabricTopology& topo);
+  static double total_penalty(const FabricTopology& topo,
+                              double lg_target_loss);
+  static std::int32_t max_lg_links_per_switch(const FabricTopology& topo);
+};
+
+}  // namespace lgsim::fabric

@@ -1,12 +1,29 @@
 #include "fabric/topology.h"
-#include "lg/config.h"
 
 #include <algorithm>
-#include <cmath>
+#include <stdexcept>
 
 namespace lgsim::fabric {
 
+namespace {
+
+void validate(const TopologyConfig& cfg) {
+  const auto dim_ok = [](std::int32_t v) { return v >= 1 && v <= kMaxDimension; };
+  if (!dim_ok(cfg.pods) || !dim_ok(cfg.tors_per_pod) ||
+      !dim_ok(cfg.fabrics_per_pod) || !dim_ok(cfg.spines_per_plane)) {
+    throw std::invalid_argument(
+        "TopologyConfig: all dimensions must be in [1, 2^20]");
+  }
+  if (cfg.fabrics_per_pod > kMaxFabricsPerPod) {
+    throw std::invalid_argument(
+        "TopologyConfig: fabrics_per_pod exceeds kMaxFabricsPerPod (64)");
+  }
+}
+
+}  // namespace
+
 FabricTopology::FabricTopology(const TopologyConfig& cfg) : cfg_(cfg) {
+  validate(cfg);
   tor_fabric_base_ = 0;
   const std::int64_t n_tf = static_cast<std::int64_t>(cfg.pods) *
                             cfg.tors_per_pod * cfg.fabrics_per_pod;
@@ -34,6 +51,25 @@ FabricTopology::FabricTopology(const TopologyConfig& cfg) : cfg_(cfg) {
       }
     }
   }
+
+  // All links start up, uncorrupted, unprotected.
+  const std::size_t n_pf =
+      static_cast<std::size_t>(cfg.pods) * cfg.fabrics_per_pod;
+  const std::size_t n_pt =
+      static_cast<std::size_t>(cfg.pods) * cfg.tors_per_pod;
+  up_spine_.assign(n_pf, cfg.spines_per_plane);
+  paths_.assign(n_pt, max_paths_per_tor());
+  paths_hist_.assign(static_cast<std::size_t>(max_paths_per_tor()) + 1, 0);
+  paths_hist_.back() = static_cast<std::int64_t>(n_pt);
+  min_paths_hint_ = max_paths_per_tor();
+  pod_cap_.assign(static_cast<std::size_t>(cfg.pods), 1.0);
+  pod_dirty_.assign(static_cast<std::size_t>(cfg.pods), 0);
+  lg_per_tor_.assign(n_pt, 0);
+  lg_per_fabric_.assign(n_pf, 0);
+  lg_hist_.assign(static_cast<std::size_t>(
+                      std::max(cfg.fabrics_per_pod, cfg.spines_per_plane)) + 1,
+                  0);
+  lg_hist_[0] = static_cast<std::int64_t>(n_pt + n_pf);
 }
 
 std::int64_t FabricTopology::tor_fabric_link(std::int32_t pod, std::int32_t tor,
@@ -53,138 +89,191 @@ std::int64_t FabricTopology::fabric_spine_link(std::int32_t pod,
          spine;
 }
 
-std::int32_t FabricTopology::up_spine_links(std::int32_t pod,
-                                            std::int32_t fabric) const {
-  std::int32_t n = 0;
-  for (std::int32_t s = 0; s < cfg_.spines_per_plane; ++s) {
-    if (links_[fabric_spine_link(pod, fabric, s)].up) ++n;
+void FabricTopology::apply(const LinkTransition& tr) {
+  Link& l = links_[tr.link];
+  const Link before = l;
+  switch (tr.kind) {
+    case LinkTransition::Kind::kCorrupt:
+      l.corrupting = true;
+      l.loss_rate = tr.loss_rate;
+      break;
+    case LinkTransition::Kind::kEnableLg:
+      l.lg_enabled = true;
+      l.effective_speed = tr.effective_speed;
+      break;
+    case LinkTransition::Kind::kDisableLg:
+      l.lg_enabled = false;
+      l.effective_speed = 1.0;
+      break;
+    case LinkTransition::Kind::kDisable:
+      l.up = false;
+      l.lg_enabled = false;
+      l.effective_speed = 1.0;
+      break;
+    case LinkTransition::Kind::kRepair:
+      l.up = true;
+      l.corrupting = false;
+      l.loss_rate = 0.0;
+      l.lg_enabled = false;
+      l.effective_speed = 1.0;
+      break;
   }
-  return n;
+  reconcile(tr.link, before, l);
 }
 
-std::int64_t FabricTopology::paths_per_tor(std::int32_t pod,
-                                           std::int32_t tor) const {
-  std::int64_t paths = 0;
-  for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-    if (!links_[tor_fabric_link(pod, tor, f)].up) continue;
-    paths += up_spine_links(pod, f);
+void FabricTopology::shift_tor_paths(std::int32_t pod, std::int32_t tor,
+                                     std::int64_t delta) {
+  if (delta == 0) return;
+  std::int64_t& p = paths_[static_cast<std::size_t>(pod) * cfg_.tors_per_pod + tor];
+  --paths_hist_[static_cast<std::size_t>(p)];
+  p += delta;
+  ++paths_hist_[static_cast<std::size_t>(p)];
+  if (p < min_paths_hint_) min_paths_hint_ = p;
+}
+
+void FabricTopology::bump_lg_switch_count(std::int32_t* slot,
+                                          std::int32_t delta) {
+  --lg_hist_[static_cast<std::size_t>(*slot)];
+  *slot += delta;
+  ++lg_hist_[static_cast<std::size_t>(*slot)];
+  if (*slot > lg_max_) lg_max_ = *slot;
+  while (lg_max_ > 0 && lg_hist_[static_cast<std::size_t>(lg_max_)] == 0)
+    --lg_max_;
+}
+
+void FabricTopology::mark_pod_dirty(std::int32_t pod) const {
+  if (pod_dirty_[static_cast<std::size_t>(pod)]) return;
+  pod_dirty_[static_cast<std::size_t>(pod)] = 1;
+  dirty_pods_.push_back(pod);
+}
+
+void FabricTopology::reconcile(std::int64_t id, const Link& before,
+                               const Link& after) {
+  const std::int32_t p = after.pod;
+
+  if (before.up != after.up) {
+    const std::int64_t sign = after.up ? 1 : -1;
+    disabled_links_ -= sign;
+    if (after.layer == LinkLayer::kTorFabric) {
+      // This ToR gains/loses all paths through the link's fabric plane.
+      shift_tor_paths(p, after.tor,
+                      sign * up_spine_links(p, after.fabric));
+    } else {
+      // Every ToR of the pod with an up link to this fabric switch
+      // gains/loses one path.
+      up_spine_[static_cast<std::size_t>(p) * cfg_.fabrics_per_pod +
+                after.fabric] += static_cast<std::int32_t>(sign);
+      for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
+        if (links_[tor_fabric_link(p, t, after.fabric)].up)
+          shift_tor_paths(p, t, sign);
+      }
+    }
   }
-  return paths;
+
+  const bool was_counted = before.up && before.corrupting;
+  const bool now_counted = after.up && after.corrupting;
+  if (was_counted != now_counted) {
+    const auto it =
+        std::lower_bound(corrupting_up_.begin(), corrupting_up_.end(), id);
+    if (now_counted) {
+      corrupting_up_.insert(it, id);
+    } else {
+      corrupting_up_.erase(it);
+    }
+  }
+
+  const bool was_lg = before.up && before.lg_enabled;
+  const bool now_lg = after.up && after.lg_enabled;
+  if (was_lg != now_lg) {
+    const std::int32_t delta = now_lg ? 1 : -1;
+    lg_up_links_ += delta;
+    // Corruption is unidirectional: the protecting sender is the ToR for
+    // ToR-fabric links, the fabric switch for fabric-spine links.
+    std::int32_t* slot =
+        after.layer == LinkLayer::kTorFabric
+            ? &lg_per_tor_[static_cast<std::size_t>(p) * cfg_.tors_per_pod +
+                           after.tor]
+            : &lg_per_fabric_[static_cast<std::size_t>(p) *
+                                  cfg_.fabrics_per_pod +
+                              after.fabric];
+    bump_lg_switch_count(slot, delta);
+  }
+
+  if (before.up != after.up || before.effective_speed != after.effective_speed)
+    mark_pod_dirty(p);
 }
 
 double FabricTopology::least_paths_per_tor_frac() const {
-  const double max_paths = static_cast<double>(max_paths_per_tor());
-  double least = 1.0;
-  for (std::int32_t p = 0; p < cfg_.pods; ++p) {
-    // up_spine_links is shared by all ToRs of the pod; compute it once.
-    std::int32_t up_spines[64];
-    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f)
-      up_spines[f] = up_spine_links(p, f);
-    for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
-      std::int64_t paths = 0;
-      for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-        if (links_[tor_fabric_link(p, t, f)].up) paths += up_spines[f];
-      }
-      least = std::min(least, static_cast<double>(paths) / max_paths);
-    }
-  }
-  return least;
+  while (paths_hist_[static_cast<std::size_t>(min_paths_hint_)] == 0)
+    ++min_paths_hint_;
+  // min(x_i / M) == min(x_i) / M: division by a positive constant is
+  // monotone, so this matches the naive per-ToR divide-then-min bit for bit.
+  return static_cast<double>(min_paths_hint_) /
+         static_cast<double>(max_paths_per_tor());
 }
 
 bool FabricTopology::can_disable(std::int64_t link_id, double constraint) const {
   const Link& l = links_[link_id];
   if (!l.up) return true;
   const double max_paths = static_cast<double>(max_paths_per_tor());
-  std::int32_t up_spines[64];
-  for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f)
-    up_spines[f] = up_spine_links(l.pod, f);
 
   if (l.layer == LinkLayer::kTorFabric) {
-    // Only this ToR is affected: it loses up_spines[l.fabric] paths.
-    std::int64_t paths = 0;
-    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-      if (f == l.fabric) continue;
-      if (links_[tor_fabric_link(l.pod, l.tor, f)].up) paths += up_spines[f];
-    }
+    // Only this ToR is affected: it loses up_spine_links(pod, fabric) paths.
+    const std::int64_t paths =
+        paths_per_tor(l.pod, l.tor) - up_spine_links(l.pod, l.fabric);
     return static_cast<double>(paths) / max_paths >= constraint;
   }
   // Fabric-spine: every ToR of the pod connected to this fabric switch loses
   // one path through it.
-  up_spines[l.fabric] -= 1;
   for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
-    std::int64_t paths = 0;
-    for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-      if (links_[tor_fabric_link(l.pod, t, f)].up) paths += up_spines[f];
-    }
+    const std::int64_t paths =
+        paths_per_tor(l.pod, t) -
+        (links_[tor_fabric_link(l.pod, t, l.fabric)].up ? 1 : 0);
     if (static_cast<double>(paths) / max_paths < constraint) return false;
   }
   return true;
 }
 
-double FabricTopology::least_capacity_per_pod_frac() const {
-  double least = 1.0;
-  for (std::int32_t p = 0; p < cfg_.pods; ++p) {
-    double tf = 0.0, fs = 0.0;
-    for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
-      for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-        const Link& l = links_[tor_fabric_link(p, t, f)];
-        if (l.up) tf += l.effective_speed;
-      }
-    }
+double FabricTopology::scan_pod_capacity_frac(std::int32_t p) const {
+  double tf = 0.0, fs = 0.0;
+  for (std::int32_t t = 0; t < cfg_.tors_per_pod; ++t) {
     for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
-      for (std::int32_t s = 0; s < cfg_.spines_per_plane; ++s) {
-        const Link& l = links_[fabric_spine_link(p, f, s)];
-        if (l.up) fs += l.effective_speed;
-      }
+      const Link& l = links_[tor_fabric_link(p, t, f)];
+      if (l.up) tf += l.effective_speed;
     }
-    const double nominal_tf =
-        static_cast<double>(cfg_.tors_per_pod) * cfg_.fabrics_per_pod;
-    const double nominal_fs =
-        static_cast<double>(cfg_.fabrics_per_pod) * cfg_.spines_per_plane;
-    // ToR->spine capacity is bounded by the thinner layer.
-    const double cap = std::min(tf / nominal_tf, fs / nominal_fs);
-    least = std::min(least, cap);
   }
+  for (std::int32_t f = 0; f < cfg_.fabrics_per_pod; ++f) {
+    for (std::int32_t s = 0; s < cfg_.spines_per_plane; ++s) {
+      const Link& l = links_[fabric_spine_link(p, f, s)];
+      if (l.up) fs += l.effective_speed;
+    }
+  }
+  const double nominal_tf =
+      static_cast<double>(cfg_.tors_per_pod) * cfg_.fabrics_per_pod;
+  const double nominal_fs =
+      static_cast<double>(cfg_.fabrics_per_pod) * cfg_.spines_per_plane;
+  // ToR->spine capacity is bounded by the thinner layer.
+  return std::min(tf / nominal_tf, fs / nominal_fs);
+}
+
+double FabricTopology::least_capacity_per_pod_frac() const {
+  for (const std::int32_t p : dirty_pods_) {
+    pod_cap_[static_cast<std::size_t>(p)] = scan_pod_capacity_frac(p);
+    pod_dirty_[static_cast<std::size_t>(p)] = 0;
+  }
+  dirty_pods_.clear();
+  double least = 1.0;
+  for (const double cap : pod_cap_) least = std::min(least, cap);
   return least;
 }
 
 double FabricTopology::total_penalty(double lg_target_loss) const {
   double penalty = 0.0;
-  for (const Link& l : links_) {
-    if (!l.up || !l.corrupting) continue;
-    if (l.lg_enabled) {
-      // Residual loss after N-copy retransmission (Eq. 1); never worse than
-      // the raw loss.
-      const int n = lg::retx_copies(l.loss_rate, lg_target_loss);
-      penalty += std::min(l.loss_rate, std::pow(l.loss_rate, n + 1));
-    } else {
-      penalty += l.loss_rate;
-    }
-  }
+  // Ascending link id == the naive full scan's summation order, so the
+  // floating-point result is bit-identical.
+  for (const std::int64_t id : corrupting_up_)
+    penalty += link_penalty(links_[id], lg_target_loss);
   return penalty;
-}
-
-std::int32_t FabricTopology::max_lg_links_per_switch() const {
-  // Count LG-enabled links per transmitting switch. For ToR-fabric links
-  // corruption is unidirectional: the protecting sender is the ToR (or the
-  // fabric switch for fabric-spine links).
-  std::vector<std::int32_t> per_fabric(
-      static_cast<std::size_t>(cfg_.pods) * cfg_.fabrics_per_pod, 0);
-  std::vector<std::int32_t> per_tor(
-      static_cast<std::size_t>(cfg_.pods) * cfg_.tors_per_pod, 0);
-  std::int32_t worst = 0;
-  for (const Link& l : links_) {
-    if (!l.lg_enabled || !l.up) continue;
-    if (l.layer == LinkLayer::kTorFabric) {
-      auto& c = per_tor[static_cast<std::size_t>(l.pod) * cfg_.tors_per_pod + l.tor];
-      worst = std::max(worst, ++c);
-    } else {
-      auto& c = per_fabric[static_cast<std::size_t>(l.pod) * cfg_.fabrics_per_pod +
-                           l.fabric];
-      worst = std::max(worst, ++c);
-    }
-  }
-  return worst;
 }
 
 }  // namespace lgsim::fabric

@@ -13,11 +13,39 @@
 //  - least capacity per pod: the worst pod's usable ToR->spine capacity as a
 //    fraction of nominal, where a LinkGuardian-protected link contributes
 //    its reduced effective speed (Fig. 8).
+//
+// Incremental capacity engine (DESIGN.md §11). The year-long deployment
+// simulation queries these metrics every sample; recomputing them by scanning
+// all ~100K links made the paper-scale run infeasible. The topology therefore
+// maintains every aggregate incrementally, and all link mutations flow through
+// one entry point, `apply(LinkTransition)`, so the invariants live in one
+// place:
+//  - `up_spine_[pod][fabric]` and `paths_[pod][tor]` — integer counts updated
+//    in O(1) (ToR-fabric flip) or O(tors_per_pod) (fabric-spine flip);
+//  - a bucketed min-tracker over the per-ToR path counts (domain is
+//    0..max_paths_per_tor(), tiny) answering `least_paths_per_tor_frac()`
+//    without a scan;
+//  - lazily recomputed per-pod capacity fractions: a mutation dirties its
+//    pod, `least_capacity_per_pod_frac()` rescans only dirty pods (bit-exact
+//    against the full naive scan because the per-pod summation order is
+//    unchanged);
+//  - the ordered set of corrupting-up links, so `total_penalty()` sums
+//    O(active) contributions in ascending link order — the same FP order the
+//    naive full scan uses, keeping the result bit-identical (a running +=/-=
+//    accumulator would drift);
+//  - per-switch LinkGuardian counts plus a value histogram answering
+//    `max_lg_links_per_switch()` in O(1).
+// The pre-refactor full-scan implementations live on as
+// `NaiveFabricMetrics` (naive_metrics.h); randomized differential tests pin
+// the two bit-identical.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "lg/config.h"
 
 namespace lgsim::fabric {
 
@@ -38,6 +66,19 @@ struct Link {
   double effective_speed = 1.0;
 };
 
+/// Penalty contribution of one corrupting, still-enabled link: the residual
+/// loss after N-copy retransmission (Eq. 1) when LinkGuardian protects it,
+/// the raw loss rate otherwise. Shared by the incremental engine and the
+/// naive reference scan so both compute bit-identical doubles.
+inline double link_penalty(const Link& l, double lg_target_loss) {
+  if (l.lg_enabled) {
+    // Never worse than the raw loss.
+    const int n = lg::retx_copies(l.loss_rate, lg_target_loss);
+    return std::min(l.loss_rate, std::pow(l.loss_rate, n + 1));
+  }
+  return l.loss_rate;
+}
+
 struct TopologyConfig {
   std::int32_t pods = 4;
   std::int32_t tors_per_pod = 48;
@@ -45,54 +86,144 @@ struct TopologyConfig {
   std::int32_t spines_per_plane = 48;
 };
 
+/// Hard bound on fabrics_per_pod: the CorrOpt fast-checker scratch in the
+/// naive reference implementation is a fixed `up_spines[kMaxFabricsPerPod]`
+/// stack array (indexed by fabric), so the constructor rejects anything
+/// larger instead of silently overflowing the stack.
+inline constexpr std::int32_t kMaxFabricsPerPod = 64;
+/// Sanity ceiling on the remaining dimensions (bounds aggregate-array and
+/// histogram sizes; far above the paper's 260/48/4/48 scale).
+inline constexpr std::int32_t kMaxDimension = 1 << 20;
+
+/// The one mutation entry point of the topology. Each transition mirrors a
+/// deployment-simulation state change; `apply()` updates the link record and
+/// every incremental aggregate in the same step.
+struct LinkTransition {
+  enum class Kind : std::uint8_t {
+    /// Corruption onset: sets corrupting + loss_rate (link stays up).
+    kCorrupt,
+    /// LinkGuardian activated: sets lg_enabled + effective_speed.
+    kEnableLg,
+    /// LinkGuardian deactivated: clears lg_enabled, speed back to 1.0.
+    kDisableLg,
+    /// CorrOpt disables the link: up=false, LG cleared, speed reset;
+    /// corrupting/loss_rate are kept (the fault survives until repair).
+    kDisable,
+    /// Repair completes: up=true and the link is factory-fresh (corruption,
+    /// LG and speed all cleared).
+    kRepair,
+  };
+
+  Kind kind = Kind::kCorrupt;
+  std::int64_t link = 0;
+  double loss_rate = 0.0;        // kCorrupt
+  double effective_speed = 1.0;  // kEnableLg
+};
+
 class FabricTopology {
  public:
+  /// Throws std::invalid_argument unless every dimension is in [1,
+  /// kMaxDimension] and fabrics_per_pod <= kMaxFabricsPerPod.
   explicit FabricTopology(const TopologyConfig& cfg);
 
   std::int64_t n_links() const { return static_cast<std::int64_t>(links_.size()); }
   const Link& link(std::int64_t id) const { return links_[id]; }
-  Link& link(std::int64_t id) { return links_[id]; }
   const TopologyConfig& config() const { return cfg_; }
+
+  /// Applies one state transition and updates all maintained aggregates.
+  /// No-op transitions (e.g. kDisable on a down link) are tolerated.
+  void apply(const LinkTransition& tr);
 
   std::int64_t tor_fabric_link(std::int32_t pod, std::int32_t tor,
                                std::int32_t fabric) const;
   std::int64_t fabric_spine_link(std::int32_t pod, std::int32_t fabric,
                                  std::int32_t spine) const;
 
-  /// Number of up fabric-spine links of (pod, fabric).
-  std::int32_t up_spine_links(std::int32_t pod, std::int32_t fabric) const;
-  /// Valley-free ToR->spine path count for one ToR.
-  std::int64_t paths_per_tor(std::int32_t pod, std::int32_t tor) const;
+  /// Number of up fabric-spine links of (pod, fabric). O(1).
+  std::int32_t up_spine_links(std::int32_t pod, std::int32_t fabric) const {
+    return up_spine_[static_cast<std::size_t>(pod) * cfg_.fabrics_per_pod +
+                     fabric];
+  }
+  /// Valley-free ToR->spine path count for one ToR. O(1).
+  std::int64_t paths_per_tor(std::int32_t pod, std::int32_t tor) const {
+    return paths_[static_cast<std::size_t>(pod) * cfg_.tors_per_pod + tor];
+  }
   std::int64_t max_paths_per_tor() const {
     return static_cast<std::int64_t>(cfg_.fabrics_per_pod) * cfg_.spines_per_plane;
   }
 
   /// Worst-case ToR path fraction across the network ("least paths per ToR").
+  /// O(1) amortized via the bucketed min-tracker.
   double least_paths_per_tor_frac() const;
 
   /// Simulates disabling `link_id` and reports whether every affected ToR
   /// keeps at least `constraint` of its maximum paths (CorrOpt fast checker
-  /// predicate).
+  /// predicate). O(1) for ToR-fabric links, O(tors_per_pod) for fabric-spine.
   bool can_disable(std::int64_t link_id, double constraint) const;
 
   /// Usable ToR->spine capacity fraction of the worst pod, counting each up
-  /// link at its effective speed ("least capacity per pod").
+  /// link at its effective speed ("least capacity per pod"). O(dirty pods *
+  /// pod size + pods) — only pods touched since the last call are rescanned.
   double least_capacity_per_pod_frac() const;
 
   /// Sum of loss rates over corrupting, still-enabled links, where
   /// LinkGuardian-protected links contribute their effective (residual)
-  /// loss rate ("total penalty").
+  /// loss rate ("total penalty"). O(corrupting-up links), summed in
+  /// ascending link order — bit-identical to the naive full scan.
   double total_penalty(double lg_target_loss) const;
 
   /// Highest number of LinkGuardian-enabled links on any single switch
-  /// (pipe) — the deployment-feasibility number discussed in §5.
-  std::int32_t max_lg_links_per_switch() const;
+  /// (pipe) — the deployment-feasibility number discussed in §5. O(1).
+  std::int32_t max_lg_links_per_switch() const { return lg_max_; }
+
+  // Maintained counters the deployment sampler reads instead of scanning.
+  std::int64_t disabled_links() const { return disabled_links_; }
+  std::int64_t corrupting_up_links() const {
+    return static_cast<std::int64_t>(corrupting_up_.size());
+  }
+  std::int64_t lg_up_links() const { return lg_up_links_; }
 
  private:
+  // Re-derives every aggregate delta from an old/new link-record pair; the
+  // single place where the maintained-state invariants are written down.
+  void reconcile(std::int64_t id, const Link& before, const Link& after);
+  void shift_tor_paths(std::int32_t pod, std::int32_t tor, std::int64_t delta);
+  void bump_lg_switch_count(std::int32_t* slot, std::int32_t delta);
+  void mark_pod_dirty(std::int32_t pod) const;
+  // The per-pod capacity scan shared (verbatim summation order) with
+  // NaiveFabricMetrics::least_capacity_per_pod_frac.
+  double scan_pod_capacity_frac(std::int32_t pod) const;
+
   TopologyConfig cfg_;
   std::vector<Link> links_;
   std::int64_t tor_fabric_base_ = 0;
   std::int64_t fabric_spine_base_ = 0;
+
+  // --- incremental aggregates -------------------------------------------
+  std::vector<std::int32_t> up_spine_;   // [pods * fabrics_per_pod]
+  std::vector<std::int64_t> paths_;      // [pods * tors_per_pod]
+  // Bucketed min-tracker over paths_: paths_hist_[v] counts ToRs with v
+  // paths; min_paths_hint_ is a lower bound on the true min, advanced lazily.
+  std::vector<std::int64_t> paths_hist_;  // [max_paths_per_tor() + 1]
+  mutable std::int64_t min_paths_hint_ = 0;
+
+  // Lazy per-pod capacity cache.
+  mutable std::vector<double> pod_cap_;        // [pods]
+  mutable std::vector<std::uint8_t> pod_dirty_;  // [pods]
+  mutable std::vector<std::int32_t> dirty_pods_;
+
+  // Corrupting && up links, ascending id (the penalty summation order).
+  std::vector<std::int64_t> corrupting_up_;
+
+  // LinkGuardian sender-side counts: ToR switches own ToR-fabric links,
+  // fabric switches own fabric-spine links.
+  std::vector<std::int32_t> lg_per_tor_;     // [pods * tors_per_pod]
+  std::vector<std::int32_t> lg_per_fabric_;  // [pods * fabrics_per_pod]
+  std::vector<std::int64_t> lg_hist_;        // [max(fabrics, spines) + 1]
+  std::int32_t lg_max_ = 0;
+  std::int64_t lg_up_links_ = 0;
+
+  std::int64_t disabled_links_ = 0;
 };
 
 }  // namespace lgsim::fabric

@@ -8,6 +8,7 @@
 // to ~5 in a row even at unreasonably high loss rates).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -161,15 +162,23 @@ class GilbertElliottLoss final : public DrivableLoss {
 
 /// Drops the frames whose (0-based) index on the link appears in `indices`.
 /// Deterministic; used by protocol unit tests to script exact loss patterns.
+/// Indices are sorted once at construction; since the frame counter is
+/// monotone, a cursor over the sorted list answers each frame in O(1)
+/// amortized (the seed implementation rescanned the whole list per frame).
 class ScriptedLoss final : public LossModel {
  public:
   explicit ScriptedLoss(std::vector<std::uint64_t> indices)
-      : indices_(std::move(indices)) {}
+      : indices_(std::move(indices)) {
+    std::sort(indices_.begin(), indices_.end());
+  }
 
   bool lose(SimTime, const Packet&) override {
     const std::uint64_t i = next_++;
-    for (auto idx : indices_)
-      if (idx == i) return true;
+    while (cursor_ < indices_.size() && indices_[cursor_] < i) ++cursor_;
+    if (cursor_ < indices_.size() && indices_[cursor_] == i) {
+      ++cursor_;
+      return true;
+    }
     return false;
   }
 
@@ -177,6 +186,7 @@ class ScriptedLoss final : public LossModel {
 
  private:
   std::vector<std::uint64_t> indices_;
+  std::size_t cursor_ = 0;
   std::uint64_t next_ = 0;
 };
 
@@ -195,11 +205,17 @@ class TimeVaryingLoss final : public LossModel {
       : segments_(std::move(segments)), rng_(rng) {}
 
   bool lose(SimTime now, const Packet&) override {
-    double rate = 0.0;
-    for (const auto& s : segments_) {
-      if (now >= s.start) rate = s.rate;
-      else break;
-    }
+    // Frames arrive in nondecreasing simulation time, so a monotone cursor
+    // replaces the seed's per-frame rescan of every segment. Time moving
+    // backwards (a fresh replay against the same model) resets the cursor,
+    // preserving the original any-order semantics; the RNG consumes exactly
+    // one draw per frame either way (none when the active rate is 0 —
+    // bernoulli(0) short-circuits before drawing, exactly as before).
+    if (now < last_now_) cursor_ = 0;
+    last_now_ = now;
+    while (cursor_ < segments_.size() && now >= segments_[cursor_].start)
+      ++cursor_;
+    const double rate = cursor_ > 0 ? segments_[cursor_ - 1].rate : 0.0;
     return rng_.bernoulli(rate);
   }
 
@@ -215,6 +231,8 @@ class TimeVaryingLoss final : public LossModel {
  private:
   std::vector<Segment> segments_;
   Rng rng_;
+  std::size_t cursor_ = 0;     // first segment with start > last_now_
+  SimTime last_now_ = 0;
 };
 
 /// Applies an inner model only to a subset of packet kinds; everything else

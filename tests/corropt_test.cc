@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 
 #include "corropt/corropt.h"
 
@@ -34,6 +35,21 @@ TEST(Table1, SamplerMatchesBucketFractions) {
   }
 }
 
+TEST(Table1, NormalizationLeavesNoMassOnHardCap) {
+  // The Table 1 fractions sum to 0.9999; before normalization ~1e-4 of all
+  // draws fell through every bucket and returned exactly the 10% hard cap.
+  // With the draw normalized by the fraction total, a cap return requires
+  // floating-point rounding on the final subtraction — out of 500K draws we
+  // tolerate at most a couple, where the old code expected ~50.
+  Rng rng(4242);
+  const int n = 500'000;
+  int exactly_cap = 0;
+  for (int i = 0; i < n; ++i) {
+    if (sample_loss_rate(rng) == 0.1) ++exactly_cap;
+  }
+  EXPECT_LE(exactly_cap, 2);
+}
+
 TEST(TraceGen, EventRateMatchesMttf) {
   Rng rng(17);
   const std::int64_t links = 10'000;
@@ -48,6 +64,44 @@ TEST(TraceGen, EventRateMatchesMttf) {
   }
   EXPECT_GE(trace.front().time_hours, 0.0);
   EXPECT_LE(trace.back().time_hours, horizon);
+}
+
+TEST(TraceGen, PerLinkStreamsAreIndependentOfLinkCount) {
+  // Each link's failure/loss sequence is a pure function of (base seed, link
+  // id): adding more links to the topology must not perturb the events of the
+  // links that were already there. This is what lets CorruptionStream draw
+  // events lazily in pop order without replaying a global RNG.
+  Rng rng_small(21), rng_big(21);
+  const double horizon = 20'000, mttf = 1'000;
+  const auto small = generate_trace(10, horizon, mttf, rng_small);
+  const auto big = generate_trace(100, horizon, mttf, rng_big);
+  std::vector<CorruptionEvent> filtered;
+  for (const auto& ev : big) {
+    if (ev.link < 10) filtered.push_back(ev);
+  }
+  ASSERT_EQ(filtered.size(), small.size());
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i].link, filtered[i].link);
+    EXPECT_DOUBLE_EQ(small[i].time_hours, filtered[i].time_hours);
+    EXPECT_DOUBLE_EQ(small[i].loss_rate, filtered[i].loss_rate);
+  }
+}
+
+TEST(TraceGen, StreamMatchesMaterializedTrace) {
+  // Draining a stream by hand yields exactly what generate_trace returns,
+  // and next_time_hours() always previews the popped event's time.
+  Rng rng_a(33), rng_b(33);
+  const auto trace = generate_trace(50, 5'000, 800, rng_a);
+  CorruptionStream stream(50, 5'000, 800, rng_b);
+  for (const auto& expect : trace) {
+    ASSERT_FALSE(stream.done());
+    EXPECT_DOUBLE_EQ(stream.next_time_hours(), expect.time_hours);
+    const auto got = stream.pop();
+    EXPECT_DOUBLE_EQ(got.time_hours, expect.time_hours);
+    EXPECT_EQ(got.link, expect.link);
+    EXPECT_DOUBLE_EQ(got.loss_rate, expect.loss_rate);
+  }
+  EXPECT_TRUE(stream.done());
 }
 
 TEST(LgEffectiveSpeed, MatchesFig8Shape) {
@@ -124,6 +178,105 @@ TEST(Deployment, MaxLgPerSwitchStaysSmall) {
   // port count.
   EXPECT_GE(res.max_lg_per_switch, 1);
   EXPECT_LE(res.max_lg_per_switch, 48);
+}
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+void expect_bit_identical(const DeploymentResult& a, const DeploymentResult& b) {
+  EXPECT_EQ(a.corruption_events, b.corruption_events);
+  EXPECT_EQ(a.disabled_immediately, b.disabled_immediately);
+  EXPECT_EQ(a.kept_active, b.kept_active);
+  EXPECT_EQ(a.disabled_by_optimizer, b.disabled_by_optimizer);
+  EXPECT_EQ(a.max_lg_per_switch, b.max_lg_per_switch);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    const auto& sa = a.samples[i];
+    const auto& sb = b.samples[i];
+    ASSERT_TRUE(bits_equal(sa.time_hours, sb.time_hours)) << "sample " << i;
+    ASSERT_TRUE(bits_equal(sa.total_penalty, sb.total_penalty))
+        << "sample " << i;
+    ASSERT_TRUE(bits_equal(sa.least_paths_frac, sb.least_paths_frac))
+        << "sample " << i;
+    ASSERT_TRUE(bits_equal(sa.least_capacity_frac, sb.least_capacity_frac))
+        << "sample " << i;
+    ASSERT_EQ(sa.corrupting_links, sb.corrupting_links) << "sample " << i;
+    ASSERT_EQ(sa.disabled_links, sb.disabled_links) << "sample " << i;
+    ASSERT_EQ(sa.lg_links, sb.lg_links) << "sample " << i;
+  }
+}
+
+// The tentpole's correctness pin: the incremental capacity engine and the
+// scan-based NaiveFabricMetrics reference must produce bit-identical
+// DeploymentResults — same events, same RNG streams, only the per-sample
+// metric computation differs.
+TEST(DeploymentDifferential, IncrementalMatchesNaiveBitwise) {
+  for (const bool lg : {false, true}) {
+    auto cfg = small_cfg(lg);
+    cfg.naive_metrics = false;
+    const auto incremental = run_deployment(cfg);
+    cfg.naive_metrics = true;
+    const auto naive = run_deployment(cfg);
+    expect_bit_identical(incremental, naive);
+    if (::testing::Test::HasFatalFailure()) {
+      ADD_FAILURE() << "diverged with use_linkguardian=" << lg;
+      return;
+    }
+  }
+}
+
+// FNV-1a over the per-field bytes of every sample (field-wise to avoid
+// struct padding), used by the golden pin below.
+std::uint64_t samples_digest(const DeploymentResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* p, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const auto& s : r.samples) {
+    mix(&s.time_hours, sizeof s.time_hours);
+    mix(&s.total_penalty, sizeof s.total_penalty);
+    mix(&s.least_paths_frac, sizeof s.least_paths_frac);
+    mix(&s.least_capacity_frac, sizeof s.least_capacity_frac);
+    mix(&s.corrupting_links, sizeof s.corrupting_links);
+    mix(&s.disabled_links, sizeof s.disabled_links);
+    mix(&s.lg_links, sizeof s.lg_links);
+  }
+  return h;
+}
+
+// Golden pin of run_deployment at the 16-pod reference scale (the scale
+// BENCH_deploy.json's speedup claim is measured at). Any change to the event
+// stream, RNG draw order, optimizer order, or metric arithmetic shows up
+// here. The values were captured from this implementation; both metric
+// engines must reproduce them (the digest covers every sample bit).
+TEST(DeploymentGolden, SixteenPodReferenceRun) {
+  DeploymentConfig cfg;
+  cfg.topo = {.pods = 16, .tors_per_pod = 48, .fabrics_per_pod = 4,
+              .spines_per_plane = 48};
+  cfg.duration_hours = 24 * 90;
+  cfg.mttf_hours = 2'000;
+  cfg.use_linkguardian = true;
+  cfg.sample_period_hours = 6.0;
+  cfg.seed = 12345;
+  for (const bool naive : {false, true}) {
+    cfg.naive_metrics = naive;
+    const auto res = run_deployment(cfg);
+    EXPECT_EQ(res.corruption_events, 6611) << "naive=" << naive;
+    EXPECT_EQ(res.disabled_immediately, 2627) << "naive=" << naive;
+    EXPECT_EQ(res.kept_active, 3387) << "naive=" << naive;
+    EXPECT_EQ(res.disabled_by_optimizer, 2809) << "naive=" << naive;
+    EXPECT_EQ(res.max_lg_per_switch, 26) << "naive=" << naive;
+    ASSERT_EQ(res.samples.size(), 359u) << "naive=" << naive;
+    EXPECT_EQ(samples_digest(res), 4305412010910275142ULL) << "naive=" << naive;
+  }
 }
 
 }  // namespace

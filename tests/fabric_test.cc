@@ -1,15 +1,28 @@
 // Tests for the Facebook-fabric topology model and the CorrOpt capacity
-// predicates (§2's link A / link B example, §4.8 metrics).
+// predicates (§2's link A / link B example, §4.8 metrics), plus the
+// randomized differential pin of the incremental capacity engine against the
+// scan-based NaiveFabricMetrics reference (DESIGN.md §11).
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <stdexcept>
+
+#include "fabric/naive_metrics.h"
 #include "fabric/topology.h"
+#include "sim/random.h"
 
 namespace lgsim::fabric {
 namespace {
 
+using Kind = LinkTransition::Kind;
+
 TopologyConfig small() {
   return TopologyConfig{.pods = 2, .tors_per_pod = 48, .fabrics_per_pod = 4,
                         .spines_per_plane = 48};
+}
+
+void set_down(FabricTopology& t, std::int64_t id) {
+  t.apply({Kind::kDisable, id});
 }
 
 TEST(Fabric, LinkCountsMatchGeometry) {
@@ -22,6 +35,30 @@ TEST(Fabric, LinkCountsMatchGeometry) {
   EXPECT_NEAR(static_cast<double>(big.n_links()), 100'000, 1'000);
 }
 
+TEST(Fabric, ConfigValidationRejectsBadDimensions) {
+  // fabrics_per_pod is capped at kMaxFabricsPerPod (the fast-checker scratch
+  // array bound in NaiveFabricMetrics); all dimensions must be positive.
+  EXPECT_THROW(FabricTopology({.pods = 1, .tors_per_pod = 1,
+                               .fabrics_per_pod = 65, .spines_per_plane = 1}),
+               std::invalid_argument);
+  EXPECT_THROW(FabricTopology({.pods = 0, .tors_per_pod = 48,
+                               .fabrics_per_pod = 4, .spines_per_plane = 48}),
+               std::invalid_argument);
+  EXPECT_THROW(FabricTopology({.pods = 1, .tors_per_pod = -3,
+                               .fabrics_per_pod = 4, .spines_per_plane = 48}),
+               std::invalid_argument);
+  EXPECT_THROW(FabricTopology({.pods = 1, .tors_per_pod = 48,
+                               .fabrics_per_pod = 0, .spines_per_plane = 48}),
+               std::invalid_argument);
+  EXPECT_THROW(FabricTopology({.pods = 1, .tors_per_pod = 48,
+                               .fabrics_per_pod = 4, .spines_per_plane = 0}),
+               std::invalid_argument);
+  // The boundary itself is accepted.
+  EXPECT_NO_THROW(FabricTopology({.pods = 1, .tors_per_pod = 2,
+                                  .fabrics_per_pod = 64,
+                                  .spines_per_plane = 2}));
+}
+
 TEST(Fabric, FullTopologyHasMaxPaths) {
   FabricTopology t(small());
   EXPECT_EQ(t.max_paths_per_tor(), 192);
@@ -32,7 +69,7 @@ TEST(Fabric, FullTopologyHasMaxPaths) {
 
 TEST(Fabric, TorFabricLinkDownCostsOneFabricWorth) {
   FabricTopology t(small());
-  t.link(t.tor_fabric_link(0, 7, 2)).up = false;
+  set_down(t, t.tor_fabric_link(0, 7, 2));
   // ToR 7 of pod 0 loses the 48 paths through fabric 2.
   EXPECT_EQ(t.paths_per_tor(0, 7), 144);
   EXPECT_EQ(t.paths_per_tor(0, 8), 192);  // others unaffected
@@ -41,7 +78,7 @@ TEST(Fabric, TorFabricLinkDownCostsOneFabricWorth) {
 
 TEST(Fabric, FabricSpineLinkDownCostsOnePathPerTor) {
   FabricTopology t(small());
-  t.link(t.fabric_spine_link(1, 3, 17)).up = false;
+  set_down(t, t.fabric_spine_link(1, 3, 17));
   for (int tor = 0; tor < 48; ++tor) EXPECT_EQ(t.paths_per_tor(1, tor), 191);
   EXPECT_EQ(t.paths_per_tor(0, 0), 192);
 }
@@ -53,7 +90,7 @@ TEST(Fabric, Section2LinkAThenLinkBExample) {
   const auto link_a = t.tor_fabric_link(0, 0, 0);
   const auto link_b = t.tor_fabric_link(0, 0, 1);
   EXPECT_TRUE(t.can_disable(link_a, 0.75));
-  t.link(link_a).up = false;
+  set_down(t, link_a);
   // ToR 0 now has 144/192 = 75%; disabling B would drop it to 50%.
   EXPECT_FALSE(t.can_disable(link_b, 0.75));
   EXPECT_TRUE(t.can_disable(link_b, 0.50));
@@ -63,10 +100,10 @@ TEST(Fabric, CanDisableFabricSpineRespectsPodWideImpact) {
   FabricTopology t(small());
   // Take down many spine links of fabric 0 in pod 0: each costs every ToR
   // one path.
-  for (int s = 0; s < 40; ++s) t.link(t.fabric_spine_link(0, 0, s)).up = false;
+  for (int s = 0; s < 40; ++s) set_down(t, t.fabric_spine_link(0, 0, s));
   // 152/192 = 79%: one more is fine at 75%...
   EXPECT_TRUE(t.can_disable(t.fabric_spine_link(0, 0, 40), 0.75));
-  for (int s = 40; s < 48; ++s) t.link(t.fabric_spine_link(0, 0, s)).up = false;
+  for (int s = 40; s < 48; ++s) set_down(t, t.fabric_spine_link(0, 0, s));
   // All fabric-0 spine links down: 144/192 = 75%. Any ToR-fabric link to
   // another fabric now costs 48 paths -> 96/192 = 50%.
   EXPECT_FALSE(t.can_disable(t.tor_fabric_link(0, 5, 1), 0.75));
@@ -74,10 +111,9 @@ TEST(Fabric, CanDisableFabricSpineRespectsPodWideImpact) {
 
 TEST(Fabric, LeastCapacityReflectsLgSpeedReduction) {
   FabricTopology t(small());
-  auto& l = t.link(t.tor_fabric_link(0, 0, 0));
-  l.corrupting = true;
-  l.lg_enabled = true;
-  l.effective_speed = 0.92;
+  const auto id = t.tor_fabric_link(0, 0, 0);
+  t.apply({Kind::kCorrupt, id, 1e-3});
+  t.apply({Kind::kEnableLg, id, 0.0, 0.92});
   // One of 192 ToR-fabric links in the pod at 92%: tiny capacity dip.
   const double expect = (191.0 + 0.92) / 192.0;
   EXPECT_NEAR(t.least_capacity_per_pod_frac(), expect, 1e-9);
@@ -85,35 +121,146 @@ TEST(Fabric, LeastCapacityReflectsLgSpeedReduction) {
 
 TEST(Fabric, TotalPenaltyWithAndWithoutLg) {
   FabricTopology t(small());
-  auto& a = t.link(5);
-  a.corrupting = true;
-  a.loss_rate = 1e-3;
-  auto& b = t.link(400);
-  b.corrupting = true;
-  b.loss_rate = 1e-4;
+  t.apply({Kind::kCorrupt, 5, 1e-3});
+  t.apply({Kind::kCorrupt, 400, 1e-4});
   EXPECT_NEAR(t.total_penalty(1e-8), 1.1e-3, 1e-9);
   // LinkGuardian on the worse link: its contribution collapses to 1e-9
   // (two retx copies).
-  a.lg_enabled = true;
+  t.apply({Kind::kEnableLg, 5, 0.0, 0.92});
   EXPECT_NEAR(t.total_penalty(1e-8), 1e-4 + 1e-9, 1e-9);
 }
 
 TEST(Fabric, DisabledLinksDoNotCountTowardPenalty) {
   FabricTopology t(small());
-  auto& a = t.link(5);
-  a.corrupting = true;
-  a.loss_rate = 1e-3;
-  a.up = false;
+  t.apply({Kind::kCorrupt, 5, 1e-3});
+  set_down(t, 5);
   EXPECT_DOUBLE_EQ(t.total_penalty(1e-8), 0.0);
 }
 
 TEST(Fabric, MaxLgPerSwitchCountsSenders) {
   FabricTopology t(small());
   // Two LG links transmitting from the same fabric switch (pod 0, fabric 1).
-  t.link(t.fabric_spine_link(0, 1, 3)).lg_enabled = true;
-  t.link(t.fabric_spine_link(0, 1, 9)).lg_enabled = true;
-  t.link(t.fabric_spine_link(0, 2, 1)).lg_enabled = true;
+  t.apply({Kind::kEnableLg, t.fabric_spine_link(0, 1, 3), 0.0, 0.999});
+  t.apply({Kind::kEnableLg, t.fabric_spine_link(0, 1, 9), 0.0, 0.999});
+  t.apply({Kind::kEnableLg, t.fabric_spine_link(0, 2, 1), 0.0, 0.999});
   EXPECT_EQ(t.max_lg_links_per_switch(), 2);
+}
+
+TEST(Fabric, RepairRestoresFreshLink) {
+  FabricTopology t(small());
+  const auto id = t.tor_fabric_link(0, 3, 1);
+  t.apply({Kind::kCorrupt, id, 1e-3});
+  t.apply({Kind::kEnableLg, id, 0.0, 0.92});
+  set_down(t, id);
+  EXPECT_EQ(t.disabled_links(), 1);
+  EXPECT_EQ(t.corrupting_up_links(), 0);
+  EXPECT_EQ(t.lg_up_links(), 0);
+  t.apply({Kind::kRepair, id});
+  EXPECT_EQ(t.disabled_links(), 0);
+  EXPECT_FALSE(t.link(id).corrupting);
+  EXPECT_FALSE(t.link(id).lg_enabled);
+  EXPECT_DOUBLE_EQ(t.link(id).effective_speed, 1.0);
+  EXPECT_EQ(t.paths_per_tor(0, 3), 192);
+  EXPECT_DOUBLE_EQ(t.least_capacity_per_pod_frac(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential: every maintained aggregate must stay bit-identical
+// to the scan-based NaiveFabricMetrics reference across long random
+// up/down/LG/speed transition sequences on asymmetric topologies.
+
+bool bits_equal(double a, double b) {
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof ua);
+  std::memcpy(&ub, &b, sizeof ub);
+  return ua == ub;
+}
+
+void check_against_naive(const FabricTopology& t, Rng& rng, int step) {
+  const auto& cfg = t.config();
+  ASSERT_TRUE(bits_equal(t.least_paths_per_tor_frac(),
+                         NaiveFabricMetrics::least_paths_per_tor_frac(t)))
+      << "least_paths diverged at step " << step;
+  ASSERT_TRUE(bits_equal(t.least_capacity_per_pod_frac(),
+                         NaiveFabricMetrics::least_capacity_per_pod_frac(t)))
+      << "least_capacity diverged at step " << step;
+  for (const double target : {1e-8, 1e-6}) {
+    ASSERT_TRUE(bits_equal(t.total_penalty(target),
+                           NaiveFabricMetrics::total_penalty(t, target)))
+        << "total_penalty diverged at step " << step;
+  }
+  ASSERT_EQ(t.max_lg_links_per_switch(),
+            NaiveFabricMetrics::max_lg_links_per_switch(t))
+      << "max_lg diverged at step " << step;
+  // Spot-check the O(1) counters and predicates on random coordinates.
+  for (int i = 0; i < 4; ++i) {
+    const auto p = static_cast<std::int32_t>(rng.uniform_int(cfg.pods));
+    const auto f = static_cast<std::int32_t>(rng.uniform_int(cfg.fabrics_per_pod));
+    const auto tor = static_cast<std::int32_t>(rng.uniform_int(cfg.tors_per_pod));
+    ASSERT_EQ(t.up_spine_links(p, f), NaiveFabricMetrics::up_spine_links(t, p, f));
+    ASSERT_EQ(t.paths_per_tor(p, tor), NaiveFabricMetrics::paths_per_tor(t, p, tor));
+    const auto id = static_cast<std::int64_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(t.n_links())));
+    const double constraint = rng.uniform(0.0, 1.0);
+    ASSERT_EQ(t.can_disable(id, constraint),
+              NaiveFabricMetrics::can_disable(t, id, constraint))
+        << "can_disable diverged at step " << step;
+  }
+}
+
+void run_differential(const TopologyConfig& cfg, std::uint64_t seed,
+                      int steps, int check_every) {
+  FabricTopology t(cfg);
+  Rng rng(seed);
+  std::int64_t up_count = t.n_links();
+  for (int step = 0; step < steps; ++step) {
+    const auto id = static_cast<std::int64_t>(
+        rng.uniform_int(static_cast<std::uint64_t>(t.n_links())));
+    const Link& l = t.link(id);
+    const double roll = rng.uniform();
+    if (!l.up) {
+      t.apply({Kind::kRepair, id});
+      ++up_count;
+    } else if (!l.corrupting && roll < 0.5) {
+      // Log-uniform loss in [1e-7, 1e-1].
+      const double loss = std::pow(10.0, rng.uniform(-7.0, -1.0));
+      t.apply({Kind::kCorrupt, id, loss});
+    } else if (roll < 0.7 && !l.lg_enabled) {
+      const double speed = 0.85 + 0.15 * rng.uniform();
+      t.apply({Kind::kEnableLg, id, 0.0, speed});
+    } else if (roll < 0.8 && l.lg_enabled) {
+      t.apply({Kind::kDisableLg, id});
+    } else if (up_count > t.n_links() / 2) {
+      // Keep at least half the fabric up so the topology stays interesting.
+      t.apply({Kind::kDisable, id});
+      --up_count;
+    }
+    if (step % check_every == check_every - 1 || step == steps - 1) {
+      check_against_naive(t, rng, step);
+      if (::testing::Test::HasFatalFailure()) return;
+    }
+  }
+}
+
+TEST(FabricDifferential, AsymmetricSmallTopology) {
+  // Odd dimensions shake out any row/column indexing confusion.
+  run_differential({.pods = 3, .tors_per_pod = 7, .fabrics_per_pod = 5,
+                    .spines_per_plane = 9},
+                   1234, 10'000, 1);
+}
+
+TEST(FabricDifferential, SinglePodSingleFabric) {
+  run_differential({.pods = 1, .tors_per_pod = 3, .fabrics_per_pod = 1,
+                    .spines_per_plane = 4},
+                   77, 5'000, 1);
+}
+
+TEST(FabricDifferential, PaperShapedSlice) {
+  // Paper-shaped pods (48 ToRs, 4 fabrics, 48 spines); checks are O(links),
+  // so verify on a coarser cadence.
+  run_differential({.pods = 4, .tors_per_pod = 48, .fabrics_per_pod = 4,
+                    .spines_per_plane = 48},
+                   991, 10'000, 97);
 }
 
 }  // namespace

@@ -132,6 +132,46 @@ TEST(TimeVaryingLoss, SegmentsApplyInOrder) {
   EXPECT_DOUBLE_EQ(loss.rate_at(usec(25)), 0.0);
 }
 
+TEST(TimeVaryingLoss, CursorResetsWhenTimeMovesBackwards) {
+  // The monotone segment cursor must fall back to a rescan when a fresh
+  // replay drives the same model with earlier timestamps.
+  net::TimeVaryingLoss loss({{usec(10), 1.0}, {usec(20), 0.0}}, Rng(1));
+  net::Packet p;
+  EXPECT_FALSE(loss.lose(usec(25), p));  // cursor past both segments
+  EXPECT_TRUE(loss.lose(usec(15), p));   // time went backwards: rate 1 again
+  EXPECT_FALSE(loss.lose(usec(5), p));   // and before onset: rate 0
+  EXPECT_TRUE(loss.lose(usec(12), p));
+}
+
+TEST(TimeVaryingLoss, ManySegmentsResolveToTheRightRate) {
+  // Deterministic rates (0/1) across a long segment list exercise the cursor
+  // advancing over several segments in one call.
+  std::vector<net::TimeVaryingLoss::Segment> segs;
+  for (int i = 0; i < 100; ++i)
+    segs.push_back({usec(10 * (i + 1)), i % 2 == 0 ? 1.0 : 0.0});
+  net::TimeVaryingLoss loss(std::move(segs), Rng(2));
+  net::Packet p;
+  EXPECT_FALSE(loss.lose(usec(5), p));
+  EXPECT_TRUE(loss.lose(usec(10), p));    // segment 0: rate 1
+  EXPECT_FALSE(loss.lose(usec(25), p));   // segment 1: rate 0
+  EXPECT_TRUE(loss.lose(usec(310), p));   // segment 30: rate 1
+  EXPECT_FALSE(loss.lose(usec(2000), p)); // past the end: last seg rate 0
+  EXPECT_DOUBLE_EQ(loss.rate_at(usec(310)), 1.0);
+}
+
+TEST(ScriptedLoss, CursorHandlesUnsortedAndDuplicateIndices) {
+  // Construction sorts the script, and each frame advances the cursor in
+  // O(1) amortized; unsorted input with duplicates must still drop exactly
+  // the scripted frames.
+  net::ScriptedLoss loss({7, 2, 2, 5});
+  net::Packet p;
+  std::vector<int> lost;
+  for (int i = 0; i < 10; ++i)
+    if (loss.lose(0, p)) lost.push_back(i);
+  EXPECT_EQ(lost, (std::vector<int>{2, 5, 7}));
+  EXPECT_EQ(loss.frames_seen(), 10u);
+}
+
 TEST(TimeVaryingLoss, StatisticalRate) {
   net::TimeVaryingLoss loss({{0, 0.02}}, Rng(9));
   net::Packet p;
