@@ -13,6 +13,7 @@ const char* kKindNames[] = {
     "ber_step",     "ber_ramp",         "atten_step",     "atten_ramp",
     "ge_episode",   "link_down",        "link_up",        "bus_delay",
     "bus_outage_on", "bus_outage_off",  "poll_stall_on",  "poll_stall_off",
+    "probe_stall_on", "probe_stall_off",
 };
 
 // Trace payloads are integers; scale per value domain so small magnitudes
@@ -61,6 +62,11 @@ void FaultInjector::add_bus(const std::string& name, monitor::PubSubBus* bus) {
 void FaultInjector::add_monitor(const std::string& name,
                                 monitor::Corruptd* daemon) {
   monitors_[name] = daemon;
+}
+
+void FaultInjector::add_prober(const std::string& name,
+                               telemetry::LinkProber* prober) {
+  probers_[name] = prober;
 }
 
 void FaultInjector::arm() {
@@ -233,6 +239,18 @@ void FaultInjector::apply(std::size_t index) {
       }
       const bool on = e.kind == FaultKind::kPollStallStart;
       it->second->set_counter_stall(on);
+      record(e, on ? 1.0 : 0.0);
+      break;
+    }
+    case FaultKind::kProbeStallStart:
+    case FaultKind::kProbeStallEnd: {
+      auto it = probers_.find(e.target);
+      if (it == probers_.end()) {
+        ++stats_.unbound;
+        break;
+      }
+      const bool on = e.kind == FaultKind::kProbeStallStart;
+      it->second->set_stalled(on);
       record(e, on ? 1.0 : 0.0);
       break;
     }

@@ -22,6 +22,7 @@
 #include "net/loss_model.h"
 #include "phy/optical.h"
 #include "sim/simulator.h"
+#include "telemetry/probe.h"
 
 namespace lgsim::fault {
 
@@ -56,6 +57,7 @@ class FaultInjector {
   void add_attenuator(const std::string& name, AttenuatorBinding binding);
   void add_bus(const std::string& name, monitor::PubSubBus* bus);
   void add_monitor(const std::string& name, monitor::Corruptd* daemon);
+  void add_prober(const std::string& name, telemetry::LinkProber* prober);
 
   /// Schedules the whole script. Call once, after registering targets.
   void arm();
@@ -89,6 +91,7 @@ class FaultInjector {
   std::map<std::string, AttenuatorBinding> attens_;
   std::map<std::string, monitor::PubSubBus*> buses_;
   std::map<std::string, monitor::Corruptd*> monitors_;
+  std::map<std::string, telemetry::LinkProber*> probers_;
 
   // Saved GE parameters for episode restore, keyed by event index.
   std::map<std::size_t, net::GilbertElliottLoss::Params> saved_ge_;

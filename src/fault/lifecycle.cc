@@ -13,6 +13,8 @@
 #include "obs/trace.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "telemetry/estimator.h"
+#include "telemetry/probe.h"
 
 namespace lgsim::fault {
 
@@ -45,10 +47,47 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
   net::GilbertElliottLoss* ge = ge_owned.get();
   link.set_loss_model(std::move(ge_owned));
 
-  // Per-uid delivery ground truth.
+  // Estimator feed: a LinkProber on the sending switch, a sequence-window
+  // estimator on the receiving one. Oracle cells construct NEITHER — the
+  // prober would add events and loss-model RNG draws, and oracle runs must
+  // stay byte-identical to the pre-telemetry code.
+  const bool estimator_fed = cfg.feed == CounterFeed::kEstimator;
+  std::unique_ptr<telemetry::SeqWindowEstimator> estimator;
+  std::unique_ptr<telemetry::LinkProber> prober;
+  if (estimator_fed) {
+    telemetry::EstimatorConfig ec;
+    ec.tau = cfg.probe_tau;
+    ec.period = cfg.probe_period;
+    ec.window = cfg.probe_window > 0
+                    ? cfg.probe_window
+                    : cfg.probe_tau / std::max<SimTime>(1, cfg.probe_period) + 2;
+    estimator = std::make_unique<telemetry::SeqWindowEstimator>(ec);
+    telemetry::ProberConfig pc;
+    pc.period = cfg.probe_period;
+    pc.name = kProbeTarget;
+    prober = std::make_unique<telemetry::LinkProber>(
+        sim, pc, [&link](net::Packet&& p) { link.send_forward(std::move(p)); });
+    prober->start();
+  }
+
+  // Per-uid delivery ground truth (and the probe tap when estimator-fed:
+  // LinkGuardian never protects kProbe, so probes surface here whatever the
+  // protection mode).
   std::vector<std::uint8_t> delivered;
   std::int64_t delivered_count = 0;
+  // Interning mutates the sink's name table, so only estimator cells do it:
+  // oracle cells must keep their trace bytes (names included) unchanged.
+  const std::uint32_t probe_rx_actor =
+      estimator_fed ? obs::intern_actor("estimator") : 0;
   link.set_forward_sink([&](net::Packet&& p) {
+    if (p.kind == net::PktKind::kProbe && p.probe.valid) {
+      if (estimator) {
+        estimator->on_probe(p.probe.seq, p.probe.sent_at, sim.now());
+        obs::emit(sim.now(), obs::Cat::kTelemetry, obs::Kind::kProbeRx,
+                  probe_rx_actor, p.probe.seq, sim.now() - p.probe.sent_at);
+      }
+      return;
+    }
     if (p.kind != net::PktKind::kData) return;
     if (p.uid >= delivered.size()) delivered.resize(p.uid + 1, 0);
     if (delivered[p.uid]) {
@@ -70,14 +109,29 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
   mc.window_frames = cfg.window_frames;
   mc.threshold = cfg.detect_threshold;
   mc.renotify_period = cfg.renotify_period;
+  // Estimator counters are probe units (small), so the binding window must
+  // be time, not a frame budget: stale probe evidence ages out at TAU and
+  // recovery (AutoFallback stepping back up) stays observable.
+  if (estimator_fed) mc.window_tau = cfg.probe_tau;
   monitor::Corruptd daemon(sim, mc, bus);
-  daemon.add_port(
-      {kLinkTarget,
-       [&] { return link.forward_port().counters().delivered_frames; },
-       [&] {
-         const auto& c = link.forward_port().counters();
-         return c.delivered_frames + c.corrupted_frames;
-       }});
+  if (estimator_fed) {
+    // The oracle-free feed: framesRxAll = probes the recovered schedule says
+    // were emitted, framesRxOk = distinct probes that actually arrived.
+    telemetry::SeqWindowEstimator* est = estimator.get();
+    Simulator* simp = &sim;
+    daemon.add_port(
+        {kLinkTarget,
+         [est] { return est->cum_received(); },
+         [est, simp] { return est->cum_expected(simp->now()); }});
+  } else {
+    daemon.add_port(
+        {kLinkTarget,
+         [&] { return link.forward_port().counters().delivered_frames; },
+         [&] {
+           const auto& c = link.forward_port().counters();
+           return c.delivered_frames + c.corrupted_frames;
+         }});
+  }
   daemon.start();
 
   // AutoFallback owns the mode once protection first engages. Ordered <-> NB
@@ -128,6 +182,7 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
   injector.add_link(kLinkTarget, ge);
   injector.add_bus(kBusTarget, &bus);
   injector.add_monitor(kMonitorTarget, &daemon);
+  if (prober) injector.add_prober(kProbeTarget, prober.get());
   injector.arm();
 
   // Traffic: paced injection at offered_load x line rate, one
@@ -157,6 +212,15 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
   sim.schedule_at(scenario.horizon, [&] {
     daemon.stop();
     fallback.stop();
+    if (prober) prober->stop();
+    if (estimator) {
+      const telemetry::LossEstimate e = estimator->estimate(sim.now());
+      res.estimate_known = e.known;
+      res.estimate_rate = e.rate;
+      obs::emit(sim.now(), obs::Cat::kTelemetry, obs::Kind::kEstimate,
+                probe_rx_actor, static_cast<std::int64_t>(e.rate * 1e9),
+                e.samples, e.known ? 1 : 0);
+    }
   });
   sim.run(scenario.horizon + msec(10));
 
@@ -186,6 +250,11 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
   res.stalled_polls = daemon.stalled_polls();
   res.faults_applied = injector.stats().applied;
   res.ramp_steps = injector.stats().ramp_steps;
+  if (prober) {
+    res.probes_sent = prober->sent();
+    res.probes_suppressed = prober->suppressed();
+  }
+  if (estimator) res.probes_rx = estimator->received();
   res.mode_changes = fallback.changes();
   res.lg_enabled_at_end = link.lg_enabled();
   if (fallback_started) {
@@ -210,6 +279,13 @@ LifecycleResult run_lifecycle(const LifecycleConfig& cfg) {
     m.counter("lifecycle.faults_applied") = res.faults_applied;
     m.counter("lifecycle.mode_changes") =
         static_cast<std::int64_t>(res.mode_changes.size());
+    if (estimator_fed) {
+      m.counter("telemetry.probes_sent") = res.probes_sent;
+      m.counter("telemetry.probes_rx") = res.probes_rx;
+      m.counter("telemetry.probes_suppressed") = res.probes_suppressed;
+      m.counter("telemetry.estimate_ppb") =
+          static_cast<std::int64_t>(res.estimate_rate * 1e9);
+    }
   }
   return res;
 }

@@ -29,6 +29,17 @@
 
 namespace lgsim::fault {
 
+/// Where corruptd's per-link counters come from.
+///   kOracle    — the forward port's delivered/corrupted counters: ground
+///                truth the switch driver would expose, and exactly the
+///                pre-PR-6 behaviour (no prober is constructed at all, so
+///                oracle cells are event-, RNG- and trace-identical to the
+///                old code).
+///   kEstimator — a LinkProber emits sequenced probes down the same wire and
+///                a SeqWindowEstimator derives the counters from what
+///                arrives: the oracle-free closed loop (src/telemetry).
+enum class CounterFeed : std::uint8_t { kOracle, kEstimator };
+
 struct LifecycleConfig {
   std::string scenario = "onset";
   std::uint64_t seed = 1;
@@ -65,6 +76,20 @@ struct LifecycleConfig {
   /// Injection stops this long before the scenario horizon so in-flight
   /// frames drain inside the run.
   SimTime drain = msec(5);
+
+  // Telemetry (estimator feed only; ignored for kOracle).
+  CounterFeed feed = CounterFeed::kOracle;
+  /// Probe emission period. 64 B + overhead every 10 us is ~0.27% of a 25G
+  /// link; halving it halves detection latency at low loss rates.
+  SimTime probe_period = usec(10);
+  /// Sliding estimate window (click's TAU): both the estimator's window and
+  /// corruptd's window_tau, so stale probe evidence ages out and recovery is
+  /// observable. 20 ms at the default period is ~2000 probes, making one
+  /// lost probe a 5e-4 loss estimate — above detect_threshold, so detection
+  /// latency is the time to the first lost probe plus a poll quantum.
+  SimTime probe_tau = msec(20);
+  /// Estimator slot count; 0 = sized automatically to cover probe_tau.
+  std::int64_t probe_window = 0;
 };
 
 struct LifecycleResult {
@@ -97,6 +122,13 @@ struct LifecycleResult {
   std::vector<monitor::ModeChange> mode_changes;
   monitor::LgMode final_mode = monitor::LgMode::kOff;
   bool lg_enabled_at_end = false;
+
+  // Telemetry (zeros / unknown when oracle-fed).
+  std::int64_t probes_sent = 0;
+  std::int64_t probes_rx = 0;        // distinct probes the estimator saw
+  std::int64_t probes_suppressed = 0; // fires swallowed by a probe stall
+  bool estimate_known = false;       // estimator had evidence at run end
+  double estimate_rate = 0.0;        // final windowed loss estimate
 };
 
 /// Runs one scenario cell end to end.

@@ -97,6 +97,22 @@ Scenario bus_outage() {
   return s;
 }
 
+Scenario probe_outage() {
+  Scenario s;
+  s.name = "probe-outage";
+  s.description =
+      "corruption onset while the telemetry prober is wedged: the estimator "
+      "goes evidence-blind (unknown, not 0%) and detection waits for the "
+      "probe stream to resume. Oracle-fed runs have no prober, so the stall "
+      "is unbound there and this degenerates to a plain onset";
+  s.script.probe_stall(msec(15), kProbeTarget, msec(30));
+  s.script.ber_step(msec(20), kLinkTarget, 1e-3);
+  s.onset = msec(20);
+  s.horizon = msec(120);
+  s.peak_rate = 1e-3;
+  return s;
+}
+
 }  // namespace
 
 Scenario make_scenario(const std::string& name) {
@@ -106,12 +122,13 @@ Scenario make_scenario(const std::string& name) {
   if (name == "burst-episode") return burst_episode();
   if (name == "monitor-blind") return monitor_blind();
   if (name == "bus-outage") return bus_outage();
+  if (name == "probe-outage") return probe_outage();
   throw std::invalid_argument("unknown fault scenario: " + name);
 }
 
 std::vector<std::string> scenario_names() {
-  return {"onset",         "ramp",          "flap-storm",
-          "burst-episode", "monitor-blind", "bus-outage"};
+  return {"onset",         "ramp",          "flap-storm",   "burst-episode",
+          "monitor-blind", "bus-outage",    "probe-outage"};
 }
 
 }  // namespace lgsim::fault

@@ -32,10 +32,11 @@ struct Scenario {
 inline constexpr const char* kLinkTarget = "link0";
 inline constexpr const char* kBusTarget = "bus0";
 inline constexpr const char* kMonitorTarget = "mon0";
+inline constexpr const char* kProbeTarget = "probe0";
 
 /// Builds a catalogue scenario by name; throws std::invalid_argument for an
 /// unknown name. Names: "onset", "ramp", "flap-storm", "burst-episode",
-/// "monitor-blind", "bus-outage".
+/// "monitor-blind", "bus-outage", "probe-outage".
 Scenario make_scenario(const std::string& name);
 
 /// All catalogue names, in presentation order.

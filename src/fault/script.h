@@ -37,6 +37,8 @@ enum class FaultKind : std::uint8_t {
   kBusOutageEnd,
   kPollStallStart,  // corruptd's counter polls return nothing (blind window)
   kPollStallEnd,
+  kProbeStallStart, // the link prober's emission engine wedges (seq freezes)
+  kProbeStallEnd,
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -193,6 +195,24 @@ class FaultScript {
     FaultEvent e;
     e.at = at + duration;
     e.kind = FaultKind::kPollStallEnd;
+    e.target = std::move(target);
+    events_.push_back(std::move(e));
+    return *this;
+  }
+
+  /// Probe-engine stall on prober `target`: in [at, at + duration) the
+  /// prober's timer fires but nothing is emitted and its sequence number
+  /// freezes — the estimator downstream must neither divide by zero nor
+  /// report the silence as 100% loss forever (telemetry/estimator.h).
+  FaultScript& probe_stall(SimTime at, std::string target, SimTime duration) {
+    FaultEvent s;
+    s.at = at;
+    s.kind = FaultKind::kProbeStallStart;
+    s.target = target;
+    events_.push_back(std::move(s));
+    FaultEvent e;
+    e.at = at + duration;
+    e.kind = FaultKind::kProbeStallEnd;
     e.target = std::move(target);
     events_.push_back(std::move(e));
     return *this;

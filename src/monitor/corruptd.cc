@@ -47,7 +47,7 @@ void Corruptd::poll(SimTime now) {
     Window& w = windows_[i];
     const std::int64_t ok = ports_[i].frames_rx_ok();
     const std::int64_t all = ports_[i].frames_rx_all();
-    const Window::Sample d{ok - w.last_ok, all - w.last_all};
+    const Window::Sample d{ok - w.last_ok, all - w.last_all, now};
     w.last_ok = ok;
     w.last_all = all;
     if (d.all > 0) {  // idle polls carry no information; don't accumulate them
@@ -55,7 +55,16 @@ void Corruptd::poll(SimTime now) {
       w.win_ok += d.ok;
       w.win_all += d.all;
     }
-    // Trim the moving window to the configured frame budget.
+    // Time-based eviction first (window_tau): a sample leaves the moment it
+    // is window_tau old — `>=`, so eviction happens exactly at TAU — and may
+    // drain the window completely (loss becomes unknown, see estimate()).
+    while (cfg_.window_tau > 0 && !w.deltas.empty() &&
+           now - w.deltas.front().at >= cfg_.window_tau) {
+      w.win_ok -= w.deltas.front().ok;
+      w.win_all -= w.deltas.front().all;
+      w.deltas.pop_front();
+    }
+    // Then trim the moving window to the configured frame budget.
     while (w.win_all > cfg_.window_frames && w.deltas.size() > 1) {
       w.win_ok -= w.deltas.front().ok;
       w.win_all -= w.deltas.front().all;
@@ -88,6 +97,22 @@ double Corruptd::loss_rate(const std::string& topic) const {
     }
   }
   return 0.0;
+}
+
+Corruptd::WindowEstimate Corruptd::estimate(const std::string& topic) const {
+  WindowEstimate e;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (ports_[i].link_topic != topic) continue;
+    const Window& w = windows_[i];
+    if (w.deltas.empty() || w.win_all <= 0) return e;  // unknown, not 0%
+    e.known = true;
+    e.frames = w.win_all;
+    e.age = sim_.now() - w.deltas.back().at;
+    e.rate = 1.0 - static_cast<double>(w.win_ok) /
+                       static_cast<double>(w.win_all);
+    return e;
+  }
+  return e;
 }
 
 }  // namespace lgsim::monitor

@@ -126,6 +126,14 @@ struct CorruptdConfig {
   /// control plane (a dropped notification is retried instead of lost
   /// forever). 0 = notify exactly once per link (the original behaviour).
   SimTime renotify_period = 0;
+  /// Time-based window eviction (TAU). 0 keeps the original frame-budget-only
+  /// trimming. When > 0, a poll sample is evicted once it is *at least* this
+  /// old (eviction triggers exactly at age == window_tau), and unlike the
+  /// frame-budget trim this may empty the window entirely — at which point
+  /// the link's loss rate is unknown, not zero (see estimate()). Estimator-
+  /// backed counters (src/telemetry) want this: probe counts are small, so a
+  /// frame budget alone would average over the whole run.
+  SimTime window_tau = 0;
 };
 
 /// Counter source the daemon polls (the switch driver in production; the
@@ -150,7 +158,21 @@ class Corruptd {
   void poll(SimTime now);
 
   /// Current estimated loss rate for a monitored link (by topic).
+  /// Returns 0.0 when the window is empty — prefer estimate() for consumers
+  /// that must distinguish "no loss" from "no information".
   double loss_rate(const std::string& topic) const;
+
+  /// The windowed estimate with its evidence. `known` is false while the
+  /// window holds no frames (before the first productive poll, or after
+  /// window_tau evicted everything): an empty window means the daemon knows
+  /// nothing, and reporting 0% loss would mask a dead counter source.
+  struct WindowEstimate {
+    double rate = 0.0;
+    bool known = false;
+    std::int64_t frames = 0;  // frames in the window (the denominator)
+    SimTime age = -1;         // now - newest sample in the window; -1 unknown
+  };
+  WindowEstimate estimate(const std::string& topic) const;
   std::int64_t polls() const { return polls_; }
   std::int64_t stalled_polls() const { return stalled_polls_; }
 
@@ -167,6 +189,7 @@ class Corruptd {
     struct Sample {
       std::int64_t ok;
       std::int64_t all;
+      SimTime at;  // poll time the delta was read (drives window_tau)
     };
     std::deque<Sample> deltas;  // per-poll deltas
     std::int64_t last_ok = 0;

@@ -24,6 +24,7 @@ enum class PktKind : std::uint8_t {
   kPfcPause,         // priority flow control pause frame (§3.5)
   kPfcResume,        // priority flow control resume frame
   kTimer,            // switch packet-generator timer packet (§3.5)
+  kProbe,            // telemetry loss probe (src/telemetry, LinkStat-style)
 };
 
 /// 3-byte LinkGuardian data header: 16-bit seqNo, an era bit and the packet
@@ -81,6 +82,16 @@ struct PfcHeader {
   bool pause = false;         // true = pause, false = resume
 };
 
+/// Telemetry probe payload: 16-bit sequence number plus the emission
+/// timestamp (what a real probe would carry in its payload bytes). The
+/// receiving estimator recovers the sender's emission schedule from these
+/// two fields alone — no oracle access to the sender (src/telemetry).
+struct ProbeHeader {
+  bool valid = false;
+  std::uint16_t seq = 0;
+  SimTime sent_at = 0;
+};
+
 /// LinkGuardian loss notification (§A.1): the missing range plus the
 /// receiver's latestRxSeqNo so the sender can update its copy.
 struct LgLossNotifHeader {
@@ -106,6 +117,7 @@ struct Packet {
   TcpHeader tcp;
   RdmaHeader rdma;
   PfcHeader pfc;
+  ProbeHeader probe;
 
   /// Shadow 64-bit sequence number used only by tests/assertions to validate
   /// the 16-bit + era wire arithmetic; protocol logic never reads it.

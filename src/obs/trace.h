@@ -57,9 +57,13 @@ enum class Cat : std::uint8_t {
   kMonitor,
   kPhy,
   kFault,
+  // Appended so pre-existing records keep their encoded cat byte (the fig08
+  // trace goldens pin those bytes).
+  kTelemetry,
 };
 inline constexpr const char* kCatNames[] = {
-    "sim", "port", "lg", "pfc", "transport", "monitor", "phy", "fault"};
+    "sim", "port", "lg", "pfc", "transport", "monitor", "phy", "fault",
+    "telemetry"};
 inline constexpr std::size_t kNumCats = sizeof(kCatNames) / sizeof(kCatNames[0]);
 
 /// Event kind — the record's verb; becomes the "name" field in the export
@@ -89,13 +93,16 @@ enum class Kind : std::uint8_t {
   // kind byte (the fig08 trace goldens pin those bytes).
   kInject,      // a scripted fault event was applied (src/fault)
   kModeChange,  // protection mode transition (AutoFallback)
+  kProbeTx,     // telemetry probe emitted (a = seq)
+  kProbeRx,     // telemetry probe received (a = seq, b = one-way ns)
+  kEstimate,    // loss estimate published (a = rate*1e9, b = window samples)
 };
 inline constexpr const char* kKindNames[] = {
     "enqueue",        "dequeue", "drop",  "corrupt",   "deliver",
     "retx",           "recover", "ack",   "loss_notif", "gap_detect",
     "buffer_release", "timeout", "pause", "resume",    "poll",
     "detect",         "activate", "flow_start", "flow_end", "counter",
-    "inject",         "mode_change"};
+    "inject",         "mode_change", "probe_tx", "probe_rx", "estimate"};
 inline constexpr std::size_t kNumKinds =
     sizeof(kKindNames) / sizeof(kKindNames[0]);
 

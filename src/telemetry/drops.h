@@ -1,0 +1,52 @@
+// Switch drop-counter aggregation: the second telemetry signal besides
+// probes. The PR 2 queue-conservation counters already attribute every
+// frame a port accepts (enq == deq + in-fifo, tail drops counted
+// separately), so summing them across a port separates the two loss causes
+// corruptd must not conflate:
+//
+//   * congestion_drops  — tail drops at egress (enqueue refused). These are
+//     congestion, not corruption; activating LinkGuardian on them would be a
+//     false positive.
+//   * wire_corrupted    — frames the serializer sent but the peer MAC
+//     discarded (the loss model fired). This is the corruption signal.
+//
+// Pure reads over counters the datapath maintains anyway: aggregation draws
+// no RNG, allocates nothing, and can run on any polling cadence.
+#pragma once
+
+#include <cstdint>
+
+#include "net/port.h"
+
+namespace lgsim::telemetry {
+
+struct DropReport {
+  std::int64_t congestion_drops = 0;  // egress tail drops, all queues
+  std::int64_t wire_corrupted = 0;    // sent but lost on the wire
+  std::int64_t delivered = 0;         // sent and accepted by the peer
+  std::int64_t enq_frames = 0;        // accepted into any egress fifo
+  std::int64_t deq_frames = 0;        // handed to the serializer
+
+  /// Frames accepted by a fifo but not yet dequeued (still queued).
+  std::int64_t in_flight() const { return enq_frames - deq_frames; }
+  /// Wire loss fraction among frames actually transmitted; 0 if none sent.
+  double wire_loss_rate() const {
+    const std::int64_t all = wire_corrupted + delivered;
+    return all > 0 ? static_cast<double>(wire_corrupted) / all : 0.0;
+  }
+};
+
+inline DropReport aggregate_drops(const net::EgressPort& port) {
+  DropReport r;
+  for (int q = 0; q < port.num_queues(); ++q) {
+    const auto& c = port.queue_counters(q);
+    r.congestion_drops += c.drop_frames;
+    r.enq_frames += c.enq_frames;
+    r.deq_frames += c.deq_frames;
+  }
+  r.wire_corrupted = port.counters().corrupted_frames;
+  r.delivered = port.counters().delivered_frames;
+  return r;
+}
+
+}  // namespace lgsim::telemetry

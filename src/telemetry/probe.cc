@@ -1,0 +1,38 @@
+#include "telemetry/probe.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace lgsim::telemetry {
+
+LinkProber::LinkProber(Simulator& sim, const ProberConfig& cfg, SendFn send)
+    : sim_(sim),
+      cfg_(cfg),
+      send_(std::move(send)),
+      task_(sim, cfg_.period, [this](SimTime now) { fire(now); }),
+      trace_actor_(obs::intern_actor(cfg_.name)) {}
+
+void LinkProber::start() { task_.start(cfg_.period); }
+
+void LinkProber::stop() { task_.stop(); }
+
+void LinkProber::fire(SimTime now) {
+  if (stalled_) {
+    ++suppressed_;
+    return;
+  }
+  net::Packet p = net::make_control(net::PktKind::kProbe);
+  p.frame_bytes = cfg_.frame_bytes;
+  p.created_at = now;
+  p.probe.valid = true;
+  p.probe.seq = next_seq_;
+  p.probe.sent_at = now;
+  obs::emit(now, obs::Cat::kTelemetry, obs::Kind::kProbeTx, trace_actor_,
+            next_seq_);
+  ++next_seq_;
+  ++sent_;
+  send_(std::move(p));
+}
+
+}  // namespace lgsim::telemetry

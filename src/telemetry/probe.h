@@ -1,0 +1,74 @@
+// LinkProber: periodic emission of sequenced loss probes down one link.
+//
+// The prober is the sending half of the telemetry pair (estimator.h is the
+// receiving half). Every `period` it hands a minimum-size kProbe frame to a
+// caller-supplied send function — in the lifecycle harness that is
+// `ProtectedLink::send_forward`, so probes ride the same egress queue and
+// loss chain as data, are charged wire time, and are corrupted by the same
+// BER the data sees. LinkGuardian never protects them (the sender arms
+// protection only for kData), so the estimate reflects raw wire loss even
+// while LG is masking it for data — exactly the signal corruptd needs to
+// keep a link protected.
+//
+// The prober draws no random numbers and allocates nothing per fire
+// (PeriodicTask re-arms through the simulator's pooled events; the Packet is
+// a stack value moved into the send function). `set_stalled(true)` models a
+// wedged probe engine: the timer keeps firing but nothing is emitted and the
+// sequence number freezes, which is the sender-side failure the estimator's
+// monotone counters must absorb (FaultKind::kProbeStall*).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace lgsim::telemetry {
+
+struct ProberConfig {
+  /// Emission period. The default costs 64 B + 20 B overhead every 10 us:
+  /// ~0.27% of a 25 Gbps link — cheap enough to always leave on, frequent
+  /// enough that a 1e-3 BER step is detected within a few hundred us.
+  SimTime period = usec(10);
+  std::int32_t frame_bytes = kMinFrameSize;
+  std::string name = "probe0";
+};
+
+class LinkProber {
+ public:
+  using SendFn = std::function<void(net::Packet&&)>;
+
+  LinkProber(Simulator& sim, const ProberConfig& cfg, SendFn send);
+
+  /// Begin emitting. The first probe goes out after one full period (not at
+  /// start time), so an estimator attached at t=0 sees seq 0 at t=period.
+  void start();
+  void stop();
+
+  /// Fault hook: while stalled the timer still fires but no probe is
+  /// emitted and seq does not advance.
+  void set_stalled(bool stalled) { stalled_ = stalled; }
+  bool stalled() const { return stalled_; }
+
+  std::int64_t sent() const { return sent_; }
+  std::int64_t suppressed() const { return suppressed_; }
+  const ProberConfig& config() const { return cfg_; }
+
+ private:
+  void fire(SimTime now);
+
+  Simulator& sim_;
+  ProberConfig cfg_;
+  SendFn send_;
+  PeriodicTask task_;
+  std::uint16_t next_seq_ = 0;
+  std::int64_t sent_ = 0;
+  std::int64_t suppressed_ = 0;  // fires swallowed while stalled
+  bool stalled_ = false;
+  std::uint32_t trace_actor_ = 0;
+};
+
+}  // namespace lgsim::telemetry

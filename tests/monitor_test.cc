@@ -141,5 +141,100 @@ TEST(Corruptd, ActivatorEnablesLinkGuardianWithEq2Copies) {
   EXPECT_GT(link.sender().stats().protected_sent, 0);
 }
 
+// --- Window boundary behaviour (time-based eviction, introduced for the
+// --- estimator-backed counter feed in src/telemetry) ---
+
+TEST(Corruptd, WindowTauEvictsSampleExactlyAtTau) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(1);
+  cfg.window_tau = msec(3);
+  cfg.threshold = 2.0;  // unreachable: isolate windowing from notification
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;
+  daemon.add_port(port.fn("t"));
+  daemon.start();
+
+  // One productive poll at t=1ms (10% loss), idle afterwards. Idle polls add
+  // no samples but still drive time-based eviction.
+  port.all += 1000;
+  port.ok += 900;
+
+  // At the t=3ms poll the sample is 2ms old (< TAU): still in the window.
+  sim.run(msec(3));
+  auto e = daemon.estimate("t");
+  ASSERT_TRUE(e.known);
+  EXPECT_EQ(e.frames, 1000);
+  EXPECT_EQ(e.age, msec(2));
+  EXPECT_DOUBLE_EQ(daemon.loss_rate("t"), 0.1);
+
+  // At the t=4ms poll it is exactly TAU old: evicted (>=, not >), and the
+  // window drains completely — the loss rate becomes unknown, not 0%.
+  sim.run(msec(4));
+  e = daemon.estimate("t");
+  EXPECT_FALSE(e.known);
+  EXPECT_EQ(e.frames, 0);
+  EXPECT_EQ(e.age, -1);
+  EXPECT_DOUBLE_EQ(daemon.loss_rate("t"), 0.0);
+  daemon.stop();
+}
+
+TEST(Corruptd, RenotifyWaitsOutCounterStall) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(1);
+  cfg.threshold = 1e-4;
+  cfg.renotify_period = msec(5);
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;
+  daemon.add_port(port.fn("t"));
+  daemon.start();
+  PeriodicTask feed(sim, msec(1), [&](SimTime) {
+    port.all += 1'000'000;
+    port.ok += 999'000;  // sustained 1e-3 loss
+  });
+  feed.start(0);
+  // Driver stall spanning the renotify due time (t=6ms): the poll timer
+  // keeps firing but reads nothing, so nothing can be published until the
+  // driver responds again.
+  sim.schedule_at(msec(4) + usec(500), [&] { daemon.set_counter_stall(true); });
+  sim.schedule_at(msec(9) + usec(500),
+                  [&] { daemon.set_counter_stall(false); });
+  sim.run(msec(14));
+  feed.stop();
+  daemon.stop();
+
+  ASSERT_EQ(bus.history().size(), 2u);
+  EXPECT_EQ(bus.history()[0].at, msec(1));   // first detection
+  EXPECT_EQ(bus.history()[1].at, msec(10));  // renotify: first poll after stall
+  EXPECT_EQ(daemon.stalled_polls(), 5);      // t = 5..9 ms fired blind
+}
+
+TEST(Corruptd, ZeroSampleWindowIsUnknownNotZero) {
+  Simulator sim;
+  PubSubBus bus;
+  CorruptdConfig cfg;
+  cfg.poll_period = msec(1);
+  cfg.window_tau = msec(5);  // the estimator-backed configuration
+  Corruptd daemon(sim, cfg, bus);
+  FakePort port;  // counters never move: a dead or idle source
+  daemon.add_port(port.fn("t"));
+  daemon.start();
+  sim.run(msec(20));
+  daemon.stop();
+
+  const auto e = daemon.estimate("t");
+  EXPECT_FALSE(e.known);  // no evidence is not the same as 0% loss
+  EXPECT_EQ(e.frames, 0);
+  EXPECT_EQ(e.age, -1);
+  EXPECT_DOUBLE_EQ(daemon.loss_rate("t"), 0.0);  // legacy accessor stays 0.0
+  EXPECT_TRUE(bus.history().empty());
+  EXPECT_EQ(daemon.polls(), 20);
+  // Unmonitored topic: also unknown, never a divide or 0%-with-confidence.
+  EXPECT_FALSE(daemon.estimate("nonexistent").known);
+}
+
 }  // namespace
 }  // namespace lgsim::monitor

@@ -22,8 +22,8 @@ namespace {
 
 static_assert(obs::kTraceCompiledIn,
               "default test build must have tracing compiled in");
-static_assert(obs::kNumCats == 8, "category name table out of sync");
-static_assert(obs::kNumKinds == 22, "kind name table out of sync");
+static_assert(obs::kNumCats == 9, "category name table out of sync");
+static_assert(obs::kNumKinds == 25, "kind name table out of sync");
 
 // ---------------------------------------------------------------- metrics --
 
