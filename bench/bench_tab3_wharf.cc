@@ -1,78 +1,16 @@
 // Table 3 (§4.7): TCP CUBIC goodput (Gb/s) on a 10G link vs loss rate, for
 // no protection, Wharf (link-local FEC, best published parameters per loss
 // rate), LinkGuardian and LinkGuardianNB.
+//
+// The per-cell measurement is bench::run_goodput (bench_common.h), shared
+// with bench_baselines; schemes enter through the net::ProtectionScheme
+// abstraction. Cells fan out over the replication runner and print in grid
+// order, so the table is byte-identical for any LGSIM_BENCH_JOBS.
 #include <cstdio>
-#include <memory>
+#include <vector>
 
 #include "bench_common.h"
-#include "lg/config.h"
-#include "net/loss_model.h"
-#include "transport/path.h"
-#include "transport/tcp.h"
 #include "util/table.h"
-#include "wharf/wharf.h"
-
-namespace {
-
-using namespace lgsim;
-
-enum class Scheme { kNone, kWharf, kLg, kLgNb };
-
-double run_goodput(Scheme scheme, double loss_rate, SimTime duration) {
-  Simulator sim;
-  transport::PathConfig pc;
-  pc.rate = gbps(10);
-  pc.host_delay = usec(12);
-  pc.link.rate = gbps(10);
-  pc.link.normal_queue_bytes = 600'000;
-  pc.lg = lg::tuned_for_rate(pc.lg, pc.rate);
-  pc.lg.actual_loss_rate = loss_rate > 0 ? loss_rate : 1e-4;
-  pc.lg.preserve_order = (scheme != Scheme::kLgNb);
-  if (scheme == Scheme::kWharf) {
-    // Wharf's redundancy consumes link capacity all the time; model it as a
-    // reduced-rate link plus the residual post-FEC loss process.
-    const wharf::WharfParams params = wharf::wharf_params_for(loss_rate);
-    pc.link.rate =
-        static_cast<BitRate>(static_cast<double>(gbps(10)) * params.capacity_fraction());
-  }
-
-  transport::TestbedPath path(sim, pc);
-  if (loss_rate > 0) {
-    if (scheme == Scheme::kWharf) {
-      path.link().set_loss_model(std::make_unique<wharf::WharfLossModel>(
-          wharf::wharf_params_for(loss_rate), loss_rate, Rng(5)));
-    } else {
-      path.link().set_loss_model(
-          std::make_unique<net::BernoulliLoss>(loss_rate, Rng(5)));
-    }
-  }
-  if (scheme == Scheme::kLg || scheme == Scheme::kLgNb) path.link().enable_lg();
-
-  transport::TcpConfig tcfg;
-  tcfg.cc = transport::TcpCc::kCubic;
-  transport::TcpSender snd(
-      sim, tcfg, 1, [&](net::Packet&& p) { path.send_from_a(std::move(p)); },
-      [](SimTime) {});
-  transport::TcpReceiver rcv(
-      sim, tcfg, 1, [&](net::Packet&& p) { path.send_from_b(std::move(p)); });
-  std::int64_t delivered = 0;
-  path.set_sink_at_b([&](net::Packet&& p) {
-    delivered += p.tcp.payload;
-    rcv.on_data(p);
-  });
-  path.set_sink_at_a([&](net::Packet&& p) { snd.on_ack(p); });
-  snd.start(1'000'000'000'000LL);
-
-  // Warm up past slow start, then measure.
-  const SimTime warmup = duration / 4;
-  sim.run(warmup);
-  const std::int64_t base = delivered;
-  sim.run(warmup + duration);
-  return static_cast<double>(delivered - base) * 8.0 /
-         static_cast<double>(duration);  // Gbps
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   lgsim::bench::TraceSession trace_session(argc, argv);
@@ -82,21 +20,40 @@ int main(int argc, char** argv) {
   const SimTime duration = msec(bench::scaled(400, 60));
   const double losses[] = {0.0, 1e-5, 1e-4, 1e-3, 1e-2};
 
-  TablePrinter t({"Loss rate ->", "0", "1e-5", "1e-4", "1e-3", "1e-2"});
   struct Row {
     const char* name;
-    Scheme scheme;
+    bench::Scheme scheme;
   };
-  for (const Row& row : {Row{"None", Scheme::kNone}, Row{"Wharf", Scheme::kWharf},
-                         Row{"LinkGuardian", Scheme::kLg},
-                         Row{"LinkGuardianNB", Scheme::kLgNb}}) {
+  const std::vector<Row> rows = {{"None", bench::Scheme::kNone},
+                                 {"Wharf", bench::Scheme::kWharf},
+                                 {"LinkGuardian", bench::Scheme::kLg},
+                                 {"LinkGuardianNB", bench::Scheme::kLgNb}};
+
+  harness::ParallelRunner<bench::GoodputCell, double> runner(
+      [](const bench::GoodputCell& cell) { return bench::run_goodput(cell); },
+      bench::jobs());
+  for (const Row& row : rows) {
+    for (double l : losses) {
+      if (row.scheme == bench::Scheme::kWharf && l == 0.0) continue;  // n/a
+      bench::GoodputCell cell;
+      cell.scheme = row.scheme;
+      cell.loss.rate = l;
+      cell.duration = duration;
+      runner.add(/*seed=*/5, cell);
+    }
+  }
+  const std::vector<double> goodputs = runner.run_in_grid_order();
+
+  TablePrinter t({"Loss rate ->", "0", "1e-5", "1e-4", "1e-3", "1e-2"});
+  std::size_t next = 0;
+  for (const Row& row : rows) {
     std::vector<std::string> cells{row.name};
     for (double l : losses) {
-      if (row.scheme == Scheme::kWharf && l == 0.0) {
+      if (row.scheme == bench::Scheme::kWharf && l == 0.0) {
         cells.push_back("n/a");
         continue;
       }
-      cells.push_back(TablePrinter::fmt(run_goodput(row.scheme, l, duration), 2));
+      cells.push_back(TablePrinter::fmt(goodputs[next++], 2));
     }
     t.add_row(cells);
   }

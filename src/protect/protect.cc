@@ -1,0 +1,105 @@
+#include "protect/protect.h"
+
+#include <utility>
+
+namespace lgsim::protect {
+
+namespace {
+
+// Smallest power of two >= n, capped below half the 16-bit sequence space so
+// serial-number comparisons stay unambiguous.
+std::size_t pow2_window(int n) {
+  std::size_t w = 1;
+  while (w < static_cast<std::size_t>(n) && w < 32768) w <<= 1;
+  return w;
+}
+
+}  // namespace
+
+SeqDedup::SeqDedup(int window) : seen_(pow2_window(window), false) {}
+
+bool SeqDedup::accept(std::uint16_t seq) {
+  if (!any_) {
+    any_ = true;
+    head_ = seq;
+    seen_[pos(seq)] = true;
+    ++accepted_;
+    return true;
+  }
+  const std::int16_t d = static_cast<std::int16_t>(seq - head_);
+  if (d > 0) {
+    // New highest sequence number: slide the window forward, clearing the
+    // positions that just entered it. A jump of a full window clears all.
+    const std::size_t advance =
+        std::min<std::size_t>(static_cast<std::size_t>(d), seen_.size());
+    for (std::size_t i = 1; i <= advance; ++i)
+      seen_[pos(static_cast<std::uint16_t>(head_ + i))] = false;
+    head_ = seq;
+    seen_[pos(seq)] = true;
+    ++accepted_;
+    return true;
+  }
+  if (static_cast<std::size_t>(-d) >= seen_.size()) {
+    // Older than the window: cannot prove it is new — never deliver twice.
+    ++duplicates_;
+    return false;
+  }
+  if (seen_[pos(seq)]) {
+    ++duplicates_;
+    return false;
+  }
+  seen_[pos(seq)] = true;
+  ++accepted_;
+  return true;
+}
+
+OnePlusOnePath::OnePlusOnePath(Simulator& sim, ProtectParams params,
+                               BitRate rate, SimTime prop_delay)
+    : sim_(sim),
+      params_(params),
+      path_a_(sim, "dup.pathA", rate, prop_delay),
+      path_b_(sim, "dup.pathB", rate, prop_delay + params.path_skew),
+      dedup_(params.dedup_window),
+      merge_(sim, params.merge_latency, [this](net::Packet&& p) {
+        if (sink_) sink_(std::move(p));
+      }) {
+  qa_ = path_a_.add_queue({});
+  qb_ = path_b_.add_queue({});
+  path_a_.set_deliver(
+      [this](net::Packet&& p) { on_merge_arrival(std::move(p)); });
+  path_b_.set_deliver(
+      [this](net::Packet&& p) { on_merge_arrival(std::move(p)); });
+}
+
+void OnePlusOnePath::set_loss_model_a(std::unique_ptr<net::LossModel> m) {
+  loss_a_ = std::move(m);
+  path_a_.set_loss_model(loss_a_.get());
+}
+
+void OnePlusOnePath::set_loss_model_b(std::unique_ptr<net::LossModel> m) {
+  loss_b_ = std::move(m);
+  path_b_.set_loss_model(loss_b_.get());
+}
+
+void OnePlusOnePath::send(net::Packet p) {
+  ++counters_.sent;
+  p.dup.valid = true;
+  p.dup.seq = next_seq_++;
+  p.frame_bytes += kDupHeaderBytes;
+  net::Packet twin = p;
+  path_a_.enqueue(qa_, std::move(p));
+  path_b_.enqueue(qb_, std::move(twin));
+}
+
+void OnePlusOnePath::on_merge_arrival(net::Packet&& p) {
+  if (!dedup_.accept(p.dup.seq)) {
+    ++counters_.dup_dropped;
+    return;
+  }
+  ++counters_.delivered;
+  p.dup.valid = false;
+  p.frame_bytes -= kDupHeaderBytes;
+  merge_.accept(std::move(p));
+}
+
+}  // namespace lgsim::protect

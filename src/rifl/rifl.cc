@@ -1,0 +1,223 @@
+#include "rifl/rifl.h"
+
+#include <utility>
+
+namespace lgsim::rifl {
+
+RiflLink::RiflLink(Simulator& sim, RiflParams params, BitRate line_rate,
+                   SimTime prop_delay)
+    : sim_(sim),
+      params_(params),
+      // Metadata is paid on every wire frame: the payload-visible rate of
+      // the hop is efficiency() x line rate. Retransmissions then consume
+      // real slots of that budget by re-entering the serializer.
+      wire_(sim, "rifl.wire",
+            static_cast<BitRate>(static_cast<double>(line_rate) *
+                                 params.efficiency()),
+            prop_delay) {
+  retx_q_ = wire_.add_queue({});  // retransmissions go first (RIFL prioritizes
+  data_q_ = wire_.add_queue({});  // recovery to bound head-of-line blocking)
+  wire_.set_deliver([this](net::Packet&& p) { on_wire_arrival(std::move(p)); });
+  // The retransmission timer runs from serialization start, not enqueue:
+  // queueing delay inside the hop must not masquerade as loss.
+  wire_.set_transmit_hook([this](net::Packet& p, int) {
+    const std::int16_t d = static_cast<std::int16_t>(
+        p.rifl.seq - static_cast<std::uint16_t>(buf_base_));
+    if (d < 0) return;  // released while queued (stale duplicate)
+    arm_timeout(buf_base_ + static_cast<std::uint64_t>(d));
+  });
+}
+
+void RiflLink::set_loss_model(std::unique_ptr<net::LossModel> m) {
+  loss_ = std::move(m);
+  wire_.set_loss_model(loss_.get());
+}
+
+void RiflLink::send(net::Packet p) {
+  ++counters_.offered;
+  if (static_cast<std::int64_t>(buf_.size()) >= params_.tx_window) {
+    backlog_.push_back(std::move(p));
+    return;
+  }
+  p.rifl.valid = true;
+  p.rifl.seq = static_cast<std::uint16_t>(next_seq_);
+  p.rifl.retransmitted = false;
+  if (buf_.empty()) buf_base_ = next_seq_;
+  buf_.push_back(TxEntry{p, next_seq_, 0, false});
+  ++next_seq_;
+  transmit(buf_.back(), /*retx=*/false);
+}
+
+void RiflLink::transmit(TxEntry& e, bool retx) {
+  ++e.tx_count;
+  if (retx) {
+    ++counters_.retx_tx;
+  } else {
+    ++counters_.data_tx;
+  }
+  net::Packet copy = e.copy;
+  copy.rifl.retransmitted = retx;
+  wire_.enqueue(retx ? retx_q_ : data_q_, std::move(copy));
+}
+
+void RiflLink::arm_timeout(std::uint64_t true_seq) {
+  TxEntry* e = find(true_seq);
+  if (e == nullptr) return;
+  const int expected = e->tx_count;
+  sim_.schedule_in(params_.ack_timeout, [this, true_seq, expected] {
+    TxEntry* entry = find(true_seq);
+    if (entry == nullptr || entry->failed) return;
+    if (entry->tx_count != expected) return;  // a newer transmission exists
+    if (entry->tx_count >= params_.max_tx) {
+      give_up(*entry);
+      return;
+    }
+    transmit(*entry, /*retx=*/true);
+  });
+}
+
+RiflLink::TxEntry* RiflLink::find(std::uint64_t true_seq) {
+  if (buf_.empty() || true_seq < buf_base_) return nullptr;
+  const std::uint64_t idx = true_seq - buf_base_;
+  if (idx >= buf_.size()) return nullptr;
+  return &buf_[idx];
+}
+
+void RiflLink::give_up(TxEntry& e) {
+  e.failed = true;
+  ++counters_.failed;
+  ++counters_.skips;
+  const std::uint64_t ts = e.true_seq;
+  sim_.schedule_in(params_.ctrl_delay, [this, ts] { on_skip(ts); });
+}
+
+void RiflLink::on_ack(std::uint64_t cum_true_seq) {
+  while (!buf_.empty() && buf_base_ < cum_true_seq) {
+    buf_.pop_front();
+    ++buf_base_;
+  }
+  drain_backlog();
+}
+
+void RiflLink::on_nack(std::uint64_t from, std::uint64_t to) {
+  ++counters_.nacks;
+  for (std::uint64_t ts = from; ts < to; ++ts) {
+    TxEntry* e = find(ts);
+    if (e == nullptr || e->failed) continue;
+    if (e->tx_count >= params_.max_tx) {
+      give_up(*e);
+    } else {
+      transmit(*e, /*retx=*/true);
+    }
+  }
+}
+
+void RiflLink::drain_backlog() {
+  while (!backlog_.empty() &&
+         static_cast<std::int64_t>(buf_.size()) < params_.tx_window) {
+    net::Packet p = std::move(backlog_.front());
+    backlog_.pop_front();
+    p.rifl.valid = true;
+    p.rifl.seq = static_cast<std::uint16_t>(next_seq_);
+    p.rifl.retransmitted = false;
+    if (buf_.empty()) buf_base_ = next_seq_;
+    buf_.push_back(TxEntry{p, next_seq_, 0, false});
+    ++next_seq_;
+    transmit(buf_.back(), /*retx=*/false);
+  }
+}
+
+void RiflLink::on_wire_arrival(net::Packet&& p) {
+  // Reconstruct the 64-bit position from the 16-bit wire sequence number:
+  // valid because the retransmission window is far below half the sequence
+  // space (serial-number arithmetic).
+  const std::int16_t d = static_cast<std::int16_t>(
+      p.rifl.seq - static_cast<std::uint16_t>(rx_next_));
+  if (d < 0) {
+    ++counters_.dup_rx;  // already released (or skipped): a late duplicate
+    send_ctrl_ack();
+    return;
+  }
+  const std::size_t idx = static_cast<std::size_t>(d);
+  if (rx_buf_.size() <= idx) rx_buf_.resize(idx + 1);
+  RxSlot& slot = rx_buf_[idx];
+  if (slot.present || slot.skipped) {
+    ++counters_.dup_rx;
+    return;
+  }
+  slot.present = true;
+  slot.frame = std::move(p);
+
+  if (d > 0) {
+    // Sequence break: request retransmission of every missing frame below
+    // this arrival we have not already asked for, one NACK per gap run.
+    std::uint64_t run_start = 0;
+    bool in_run = false;
+    for (std::size_t i = 0; i < idx; ++i) {
+      const std::uint64_t ts = rx_next_ + i;
+      const bool missing = !rx_buf_[i].present && !rx_buf_[i].skipped &&
+                           ts >= highest_nacked_;
+      if (missing && !in_run) {
+        run_start = ts;
+        in_run = true;
+      } else if (!missing && in_run) {
+        const std::uint64_t run_end = ts;
+        sim_.schedule_in(params_.ctrl_delay, [this, run_start, run_end] {
+          on_nack(run_start, run_end);
+        });
+        in_run = false;
+      }
+    }
+    if (in_run) {
+      const std::uint64_t run_end = rx_next_ + idx;
+      sim_.schedule_in(params_.ctrl_delay, [this, run_start, run_end] {
+        on_nack(run_start, run_end);
+      });
+    }
+    if (rx_next_ + idx > highest_nacked_) highest_nacked_ = rx_next_ + idx;
+  }
+  release_in_order();
+}
+
+void RiflLink::on_skip(std::uint64_t true_seq) {
+  if (true_seq < rx_next_) return;  // already advanced past it
+  const std::size_t idx = static_cast<std::size_t>(true_seq - rx_next_);
+  if (rx_buf_.size() <= idx) rx_buf_.resize(idx + 1);
+  if (!rx_buf_[idx].present) rx_buf_[idx].skipped = true;
+  release_in_order();
+}
+
+void RiflLink::release_in_order() {
+  bool advanced = false;
+  while (!rx_buf_.empty() &&
+         (rx_buf_.front().present || rx_buf_.front().skipped)) {
+    RxSlot slot = std::move(rx_buf_.front());
+    rx_buf_.pop_front();
+    ++rx_next_;
+    advanced = true;
+    if (slot.present) {
+      ++counters_.delivered;
+      slot.frame.rifl.valid = false;
+      net::Packet* parked = out_pool_.acquire(std::move(slot.frame));
+      auto emerge = [this, parked] {
+        if (sink_) sink_(std::move(*parked));
+        out_pool_.release(parked);
+      };
+      static_assert(sizeof(emerge) <= sim::InlineCallback::kInlineBytes);
+      sim_.schedule_in(params_.framing_latency, std::move(emerge));
+    }
+  }
+  if (advanced) send_ctrl_ack();
+}
+
+void RiflLink::send_ctrl_ack() {
+  if (ack_pending_) return;
+  ack_pending_ = true;
+  const std::uint64_t cum = rx_next_;
+  sim_.schedule_in(params_.ctrl_delay, [this, cum] {
+    ack_pending_ = false;
+    on_ack(cum);
+  });
+}
+
+}  // namespace lgsim::rifl

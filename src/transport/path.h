@@ -15,6 +15,7 @@
 #include "net/packet.h"
 #include "net/pipeline.h"
 #include "net/port.h"
+#include "net/protection.h"
 #include "sim/simulator.h"
 
 namespace lgsim::transport {
@@ -31,6 +32,21 @@ struct PathConfig {
   lg::LinkSpec link;
   lg::LgConfig lg;
 };
+
+/// Applies a protection scheme's path-level knobs to a config: the scheme's
+/// redundancy shrinks the protected link's usable rate by its capacity
+/// fraction under the given raw process, and its framing/merge pipeline adds
+/// to the link's one-way latency. The residual loss process is installed
+/// separately (the caller owns it and may want the raw handle for fault
+/// scripts): `path.link().set_loss_model(residual.model.get())`.
+inline PathConfig with_protection(PathConfig pc,
+                                  const net::ProtectionScheme& scheme,
+                                  const net::LossSpec& raw) {
+  pc.link.rate = static_cast<BitRate>(static_cast<double>(pc.link.rate) *
+                                      scheme.capacity_fraction(raw));
+  pc.link.prop_delay += scheme.added_latency();
+  return pc;
+}
 
 class TestbedPath {
  public:

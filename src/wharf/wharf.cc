@@ -29,12 +29,12 @@ double wharf_residual_loss(const WharfParams& p, double raw_loss) {
   return q * (1.0 - head);
 }
 
-void WharfLossModel::roll_block() {
+void WharfLossModel::roll_block(SimTime now, const net::Packet& p) {
   const int n = params_.k + params_.r;
   outcomes_.assign(n, false);
   int corrupted = 0;
   for (int i = 0; i < n; ++i) {
-    outcomes_[i] = rng_.bernoulli(raw_loss_);
+    outcomes_[i] = raw_->lose(now, p);
     if (outcomes_[i]) ++corrupted;
   }
   block_recoverable_ = corrupted <= params_.r;
@@ -42,8 +42,8 @@ void WharfLossModel::roll_block() {
   ++blocks_;
 }
 
-bool WharfLossModel::lose(SimTime, const net::Packet&) {
-  if (pos_ == 0 || pos_ >= params_.k) roll_block();
+bool WharfLossModel::lose(SimTime now, const net::Packet& p) {
+  if (pos_ == 0 || pos_ >= params_.k) roll_block(now, p);
   const bool corrupted = outcomes_[pos_];
   ++pos_;
   if (!corrupted) return false;

@@ -17,6 +17,7 @@
 
 #include "net/loss_model.h"
 #include "net/packet.h"
+#include "net/protection.h"
 #include "sim/random.h"
 #include "util/units.h"
 
@@ -41,33 +42,66 @@ WharfParams wharf_params_for(double loss_rate);
 /// in total (in which case FEC cannot reconstruct it).
 double wharf_residual_loss(const WharfParams& p, double raw_loss);
 
-/// Loss process of a Wharf-protected link. Exact block semantics for i.i.d.
-/// raw processes: each block of k+r frame outcomes is rolled up front; if
-/// the block has more than r corruptions, every corrupted data frame in it
-/// is lost, otherwise all are recovered.
+/// Loss process of a Wharf-protected link, wrapped around an arbitrary raw
+/// corruption process. Exact block semantics: each block of k+r frame
+/// outcomes is rolled up front through the raw process; if the block has
+/// more than r corruptions, every corrupted data frame in it is lost,
+/// otherwise all are recovered. For an i.i.d. Bernoulli raw process the
+/// rolled RNG stream is identical to the seed implementation's inline
+/// Bernoulli draws (pinned by wharf_test's differential); for a bursty
+/// (Gilbert-Elliott) process the block pre-roll places a whole burst inside
+/// one block — the worst case for FEC, which is exactly what block codes
+/// are bad at.
 class WharfLossModel final : public net::LossModel {
  public:
+  WharfLossModel(WharfParams params, std::unique_ptr<net::DrivableLoss> raw)
+      : params_(params), raw_(std::move(raw)) {}
+  /// i.i.d. convenience constructor (the seed interface).
   WharfLossModel(WharfParams params, double raw_loss_rate, Rng rng)
-      : params_(params), raw_loss_(raw_loss_rate), rng_(rng) {}
+      : WharfLossModel(params,
+                       std::make_unique<net::BernoulliLoss>(raw_loss_rate, rng)) {}
 
   bool lose(SimTime now, const net::Packet& p) override;
+
+  net::DrivableLoss* raw() { return raw_.get(); }
 
   std::int64_t blocks() const { return blocks_; }
   std::int64_t recovered_frames() const { return recovered_; }
   std::int64_t unrecovered_frames() const { return unrecovered_; }
 
  private:
-  void roll_block();
+  void roll_block(SimTime now, const net::Packet& p);
 
   WharfParams params_;
-  double raw_loss_;
-  Rng rng_;
+  std::unique_ptr<net::DrivableLoss> raw_;
   std::vector<bool> outcomes_;  // corruption outcome per frame of the block
   int pos_ = 0;                 // next data-frame slot in the block
   bool block_recoverable_ = true;
   std::int64_t blocks_ = 0;
   std::int64_t recovered_ = 0;
   std::int64_t unrecovered_ = 0;
+};
+
+/// Wharf as a pluggable protection scheme: the parity tax is a reduced-rate
+/// link (capacity_fraction of line rate, paid at every loss rate — Wharf
+/// meters traffic beyond k/(k+r) of line rate whether or not the fiber is
+/// corrupting), the residual process is the block model above, delivery is
+/// in order (FEC reconstructs in place) with no added per-frame latency
+/// modelled (decode happens within the receiving switch's pipeline).
+class WharfScheme final : public net::ProtectionScheme {
+ public:
+  const char* name() const override { return "wharf"; }
+
+  double capacity_fraction(const net::LossSpec& raw) const override {
+    return wharf_params_for(raw.rate).capacity_fraction();
+  }
+
+  net::ResidualLoss residual(const net::LossSpec& raw) const override {
+    auto model = std::make_unique<WharfLossModel>(wharf_params_for(raw.rate),
+                                                  raw.build());
+    net::DrivableLoss* handle = model->raw();
+    return net::ResidualLoss{std::move(model), handle};
+  }
 };
 
 }  // namespace lgsim::wharf

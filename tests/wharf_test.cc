@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "lg/config.h"
+#include "net/loss_model.h"
 #include "net/packet.h"
+#include "net/protection.h"
 #include "wharf/wharf.h"
 
 namespace lgsim::wharf {
@@ -62,6 +67,71 @@ TEST(WharfLossModel, NoLossPassesEverything) {
   net::Packet p;
   for (int i = 0; i < 1000; ++i) EXPECT_FALSE(model.lose(0, p));
   EXPECT_EQ(model.unrecovered_frames(), 0);
+}
+
+// Differential pin for the ProtectionScheme port: WharfScheme::residual must
+// reproduce the exact lose() decision sequence of the pre-port inline model
+// (WharfLossModel constructed from a raw rate + Rng(5), as bench_tab3_wharf
+// used to build it). Byte-identical Table 3 output depends on this.
+TEST(WharfScheme, ResidualMatchesLegacyInlineModel) {
+  for (double q : {1e-4, 1e-3, 1e-2}) {
+    WharfLossModel legacy(wharf_params_for(q), q, Rng(5));
+
+    WharfScheme scheme;
+    net::LossSpec spec;
+    spec.rate = q;
+    spec.seed = 5;
+    net::ResidualLoss ported = scheme.residual(spec);
+
+    net::Packet p;
+    for (int i = 0; i < 200'000; ++i)
+      ASSERT_EQ(legacy.lose(0, p), ported.model->lose(0, p)) << "q=" << q
+                                                             << " i=" << i;
+  }
+}
+
+TEST(WharfScheme, PathKnobsTrackParamsForRate) {
+  WharfScheme scheme;
+  net::LossSpec spec;
+  spec.rate = 1e-3;
+  EXPECT_STREQ(scheme.name(), "wharf");
+  EXPECT_DOUBLE_EQ(scheme.capacity_fraction(spec),
+                   wharf_params_for(1e-3).capacity_fraction());
+  spec.rate = 1e-2;
+  EXPECT_DOUBLE_EQ(scheme.capacity_fraction(spec),
+                   wharf_params_for(1e-2).capacity_fraction());
+  EXPECT_EQ(scheme.added_latency(), 0);
+  EXPECT_TRUE(scheme.preserves_order());
+}
+
+// Wharf wrapped around a bursty raw process: the block code recovers far
+// less of a Gilbert-Elliott process than of i.i.d. loss at the same marginal
+// rate — a whole burst lands inside one block and exceeds the parity budget.
+TEST(WharfScheme, GilbertElliottBurstsBeatTheParityBudget) {
+  const double q = 1e-2;
+  auto count_losses = [&](std::unique_ptr<net::DrivableLoss> raw) {
+    WharfLossModel model(wharf_params_for(q), std::move(raw));
+    net::Packet p;
+    int lost = 0;
+    for (int i = 0; i < 500'000; ++i)
+      if (model.lose(0, p)) ++lost;
+    return lost;
+  };
+  const int iid = count_losses(std::make_unique<net::BernoulliLoss>(q, Rng(5)));
+  const int bursty = count_losses(std::make_unique<net::GilbertElliottLoss>(
+      net::GilbertElliottLoss::for_rate(q, 4.0), Rng(5)));
+  EXPECT_GT(bursty, 2 * iid);
+  EXPECT_GT(iid, 0);
+}
+
+// The Table 3 zero-loss column used to configure LG with a fake 1e-4 floor
+// because actual_loss_rate doubled as "some rate, any rate". Pin the fact
+// that makes the explicit 0 equivalent — and therefore the fix safe: Eq. 2
+// sizes one reTx copy both for "no losses observed" and for any actual rate
+// at or below the target.
+TEST(LgSizing, ZeroLossNeedsNoFakeFloor) {
+  EXPECT_EQ(lg::retx_copies(0.0, 1e-8), 1);
+  EXPECT_EQ(lg::retx_copies(1e-4, 1e-8), 1);
 }
 
 }  // namespace
