@@ -14,6 +14,7 @@
 #include <string>
 #include <string_view>
 
+#include "harness/fct.h"
 #include "harness/parallel.h"
 #include "lg/config.h"
 #include "net/protection.h"
@@ -104,6 +105,56 @@ class TraceSession {
   std::optional<obs::TraceCollector> collector_;
   std::optional<obs::SinkScope> scope_;
 };
+
+// ---------------------------------------------------------------------------
+// Flow-launch / FCT-collection scaffolding, shared by the testbed FCT benches
+// (bench_fig10/11/12) and the fabric traffic engine's bench_traffic. One
+// TrafficConfig describes a transportxprotection sweep over one flow size;
+// fct_grid() expands it into the harness::FctConfig grid in transport-major
+// order. The seed strides reproduce each figure's historical per-cell seeds
+// exactly (fig10: base 1000, protection stride 1; fig11: base 2000, strides
+// 7/31; fig12: base 3000), so extracting the scaffolding changed no output
+// byte.
+// ---------------------------------------------------------------------------
+
+struct TrafficConfig {
+  std::vector<harness::Transport> transports{harness::Transport::kDctcp};
+  std::vector<harness::Protection> protections{
+      harness::Protection::kNoLoss, harness::Protection::kLg,
+      harness::Protection::kLgNb, harness::Protection::kLossOnly};
+  std::int64_t flow_bytes = 143;
+  std::int64_t trials = 10'000;
+  double loss_rate = 1e-3;
+  BitRate rate = gbps(100);
+  SimTime inter_trial_gap = usec(20);
+  /// Per-cell seed = base + protection * protection_stride +
+  /// transport * transport_stride.
+  std::uint64_t seed_base = 0;
+  std::uint64_t seed_protection_stride = 1;
+  std::uint64_t seed_transport_stride = 0;
+};
+
+inline std::vector<harness::FctConfig> fct_grid(const TrafficConfig& tc) {
+  std::vector<harness::FctConfig> grid;
+  grid.reserve(tc.transports.size() * tc.protections.size());
+  for (harness::Transport tr : tc.transports) {
+    for (harness::Protection pr : tc.protections) {
+      harness::FctConfig c;
+      c.transport = tr;
+      c.protection = pr;
+      c.flow_bytes = tc.flow_bytes;
+      c.trials = tc.trials;
+      c.loss_rate = tc.loss_rate;
+      c.rate = tc.rate;
+      c.inter_trial_gap = tc.inter_trial_gap;
+      c.seed = tc.seed_base +
+               static_cast<std::uint64_t>(pr) * tc.seed_protection_stride +
+               static_cast<std::uint64_t>(tr) * tc.seed_transport_stride;
+      grid.push_back(c);
+    }
+  }
+  return grid;
+}
 
 // ---------------------------------------------------------------------------
 // Protection-scheme goodput scaffolding, shared by bench_tab3_wharf (the

@@ -13,26 +13,14 @@ int main(int argc, char** argv) {
   using namespace lgsim::harness;
   bench::banner("Figure 10", "Top 1% FCTs for 143B flows on a 100G link");
 
-  const std::int64_t trials = bench::scaled(100'000, 2'000);
-
   // Whole grid (2 transports x 4 conditions) fanned out over
   // LGSIM_BENCH_JOBS workers; row order and values match the serial loop.
-  std::vector<FctConfig> grid;
-  for (Transport tr : {Transport::kDctcp, Transport::kRdmaWrite}) {
-    for (Protection pr : {Protection::kNoLoss, Protection::kLg,
-                          Protection::kLgNb, Protection::kLossOnly}) {
-      FctConfig c;
-      c.transport = tr;
-      c.protection = pr;
-      c.flow_bytes = 143;
-      c.trials = trials;
-      c.loss_rate = 1e-3;
-      c.rate = gbps(100);
-      c.seed = 1000 + static_cast<std::uint64_t>(pr);
-      grid.push_back(c);
-    }
-  }
-  const std::vector<FctResult> results = run_fct_grid(grid);
+  bench::TrafficConfig tc;
+  tc.transports = {Transport::kDctcp, Transport::kRdmaWrite};
+  tc.flow_bytes = 143;
+  tc.trials = bench::scaled(100'000, 2'000);
+  tc.seed_base = 1000;
+  const std::vector<FctResult> results = run_fct_grid(bench::fct_grid(tc));
 
   std::size_t i = 0;
   for (Transport tr : {Transport::kDctcp, Transport::kRdmaWrite}) {

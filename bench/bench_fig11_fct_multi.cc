@@ -13,27 +13,16 @@ int main(int argc, char** argv) {
   using namespace lgsim::harness;
   bench::banner("Figure 11", "Top 5% FCTs for 24,387B flows (17 packets) on 100G");
 
-  const std::int64_t trials = bench::scaled(50'000, 2'000);
-
   // 3 transports x 4 conditions, fanned out over LGSIM_BENCH_JOBS workers;
   // rows match the serial loop byte-for-byte.
-  std::vector<FctConfig> grid;
-  for (Transport tr : {Transport::kDctcp, Transport::kBbr, Transport::kRdmaWrite}) {
-    for (Protection pr : {Protection::kNoLoss, Protection::kLg,
-                          Protection::kLgNb, Protection::kLossOnly}) {
-      FctConfig c;
-      c.transport = tr;
-      c.protection = pr;
-      c.flow_bytes = 24'387;
-      c.trials = trials;
-      c.loss_rate = 1e-3;
-      c.rate = gbps(100);
-      c.seed = 2000 + static_cast<std::uint64_t>(pr) * 7 +
-               static_cast<std::uint64_t>(tr) * 31;
-      grid.push_back(c);
-    }
-  }
-  const std::vector<FctResult> results = run_fct_grid(grid);
+  bench::TrafficConfig tc;
+  tc.transports = {Transport::kDctcp, Transport::kBbr, Transport::kRdmaWrite};
+  tc.flow_bytes = 24'387;
+  tc.trials = bench::scaled(50'000, 2'000);
+  tc.seed_base = 2000;
+  tc.seed_protection_stride = 7;
+  tc.seed_transport_stride = 31;
+  const std::vector<FctResult> results = run_fct_grid(bench::fct_grid(tc));
 
   std::size_t i = 0;
   for (Transport tr : {Transport::kDctcp, Transport::kBbr, Transport::kRdmaWrite}) {

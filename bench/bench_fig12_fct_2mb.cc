@@ -13,27 +13,16 @@ int main(int argc, char** argv) {
   using namespace lgsim::harness;
   bench::banner("Figure 12", "Top 5% FCTs for 2MB DCTCP flows on a 100G link");
 
-  const std::int64_t trials = bench::scaled(4'000, 300);
-
   TablePrinter t({"Condition", "p20 (us)", "p50 (us)", "p95 (us)", "p99 (us)",
                   "p99.9 (us)", "max (us)", "affected trials"});
   // 4 conditions fanned out over LGSIM_BENCH_JOBS workers; rows match the
   // serial loop byte-for-byte.
-  std::vector<FctConfig> grid;
-  for (Protection pr : {Protection::kNoLoss, Protection::kLg, Protection::kLgNb,
-                        Protection::kLossOnly}) {
-    FctConfig c;
-    c.transport = Transport::kDctcp;
-    c.protection = pr;
-    c.flow_bytes = 2'000'000;
-    c.trials = trials;
-    c.loss_rate = 1e-3;
-    c.rate = gbps(100);
-    c.inter_trial_gap = usec(50);
-    c.seed = 3000 + static_cast<std::uint64_t>(pr);
-    grid.push_back(c);
-  }
-  const std::vector<FctResult> results = run_fct_grid(grid);
+  bench::TrafficConfig tc;
+  tc.flow_bytes = 2'000'000;
+  tc.trials = bench::scaled(4'000, 300);
+  tc.inter_trial_gap = usec(50);
+  tc.seed_base = 3000;
+  const std::vector<FctResult> results = run_fct_grid(bench::fct_grid(tc));
 
   std::size_t i = 0;
   for (Protection pr : {Protection::kNoLoss, Protection::kLg, Protection::kLgNb,

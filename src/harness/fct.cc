@@ -134,22 +134,27 @@ FctResult run_fct(const FctConfig& cfg) {
     path.set_sink_at_a([&](net::Packet&& p) { tcp_snd->on_ack(p); });
   }
 
-  const std::int64_t n_segs =
-      is_rdma ? (cfg.flow_bytes + rcfg.payload - 1) / rcfg.payload
-              : (cfg.flow_bytes + tcfg.mss - 1) / tcfg.mss;
+  const std::int64_t n_trials =
+      cfg.trial_bytes.empty() ? cfg.trials
+                              : static_cast<std::int64_t>(cfg.trial_bytes.size());
 
-  for (std::int64_t trial = 0; trial < cfg.trials; ++trial) {
+  for (std::int64_t trial = 0; trial < n_trials; ++trial) {
+    const std::int64_t flow_bytes =
+        cfg.trial_bytes.empty() ? cfg.flow_bytes : cfg.trial_bytes[trial];
+    const std::int64_t n_segs =
+        is_rdma ? (flow_bytes + rcfg.payload - 1) / rcfg.payload
+                : (flow_bytes + tcfg.mss - 1) / tcfg.mss;
     const std::uint32_t fid = static_cast<std::uint32_t>(trial + 1);
     trial_fct = -1;
     if (loss != nullptr) loss->begin_trial();
     if (is_rdma) {
       rdma_snd->reset(fid);
       rdma_rcv->reset(fid);
-      rdma_snd->start(cfg.flow_bytes);
+      rdma_snd->start(flow_bytes);
     } else {
       tcp_snd->reset(fid);
       tcp_rcv->reset(fid);
-      tcp_snd->start(cfg.flow_bytes);
+      tcp_snd->start(flow_bytes);
     }
     const SimTime deadline = sim.now() + cfg.trial_cap;
     // Run until the flow completes or the cap is hit. The simulator is

@@ -27,6 +27,10 @@ struct FctConfig {
   Protection protection = Protection::kNoLoss;
   std::int64_t flow_bytes = 143;
   std::int64_t trials = 10'000;
+  /// When non-empty, overrides {flow_bytes, trials}: trial i sends
+  /// trial_bytes[i]. Lets callers (the fabric traffic engine) replay a
+  /// concrete list of flow sizes through the packet-level path.
+  std::vector<std::int64_t> trial_bytes;
   double loss_rate = 1e-3;
   BitRate rate = gbps(100);
   /// Idle gap between consecutive trials.

@@ -1,0 +1,111 @@
+// Analytic (fluid) flow-completion-time model for background traffic.
+//
+// The hybrid-fidelity engine simulates victim flows (those crossing a
+// corrupting link) packet by packet through the real transport + LinkGuardian
+// stack, and everything else with this closed-form model — the packet/flow
+// split that hybrid fabric simulators (P4sim et al.) use to reach fabric
+// scale. The model mirrors the packet path's timing structure:
+//
+//   rtt   = 2 * (host_delay + hops * per_hop_latency) + frame serialization,
+//           inflated by an M/M/1-style load term per traversed queue;
+//   FCT   = slow-start rounds (cwnd doubling from init_cwnd, capped at the
+//           bandwidth-delay product, each round costing max(rtt, send time))
+//           + the residual serialization once the window saturates;
+//   loss  = with probability 1-(1-p)^frames the flow eats one recovery:
+//           an RTO (rto_min) when the loss cannot be repaired by fast
+//           retransmit (short flow, or tail loss ~ 3/n_segs), else one
+//           extra round trip — the corruption-induced penalty sampled from
+//           the scenario's residual-loss rates.
+//
+// The constants default to the packet path's (TcpConfig / PathConfig), so
+// no-loss fluid FCTs land in the same decade as the packet reference;
+// tests/traffic_test.cc pins a coarse agreement band. Victim-flow accuracy
+// never depends on this model — that is the whole point of the hybrid split.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "sim/random.h"
+#include "util/units.h"
+
+namespace lgsim::traffic {
+
+struct FluidConfig {
+  /// Per-endpoint host-stack delay (both ends contribute per direction).
+  SimTime host_delay = usec(12);
+  /// Fixed one-way latency per traversed switch-to-switch link (switch
+  /// pipeline + NIC/fiber propagation).
+  SimTime per_hop_latency = nsec(700);
+  std::int32_t mss = 1448;
+  std::int32_t header_bytes = 70;
+  double init_cwnd_segs = 10.0;
+  SimTime rto_min = msec(1);
+  /// Average utilization of fabric queues; drives the queueing-delay term.
+  double load = 0.1;
+};
+
+class FluidModel {
+ public:
+  FluidModel(const FluidConfig& cfg, BitRate rate) : cfg_(cfg), rate_(rate) {
+    frame_ns_ = static_cast<double>(
+        serialization_time(cfg.mss + cfg.header_bytes, rate));
+    const double rho = std::clamp(cfg.load, 0.0, 0.95);
+    queue_ns_per_hop_ = rho / (1.0 - rho) * frame_ns_;
+  }
+
+  /// FCT in nanoseconds for one flow of `bytes` over `n_links` fabric links
+  /// with residual loss rate `loss` on the path. Draws at most two uniforms
+  /// from `rng` (loss Bernoulli + recovery-kind Bernoulli).
+  double fct_ns(std::int64_t bytes, std::int32_t n_links, double loss,
+                Rng& rng) const {
+    const auto n_segs = std::max<std::int64_t>(
+        1, (bytes + cfg_.mss - 1) / cfg_.mss);
+    const double rtt =
+        2.0 * (static_cast<double>(cfg_.host_delay) +
+               n_links * (static_cast<double>(cfg_.per_hop_latency) +
+                          queue_ns_per_hop_)) +
+        frame_ns_;
+
+    // Slow start: rounds of doubling until the window covers the BDP (after
+    // which the transfer is serialization-limited) or the flow ends.
+    const double bdp_segs = std::max(1.0, rtt / frame_ns_);
+    double t = 0.0;
+    double cwnd = cfg_.init_cwnd_segs;
+    std::int64_t sent = 0;
+    while (sent < n_segs) {
+      const double in_round =
+          std::min<double>(cwnd, static_cast<double>(n_segs - sent));
+      t += std::max(rtt, in_round * frame_ns_);
+      sent += static_cast<std::int64_t>(in_round);
+      if (cwnd >= bdp_segs) {
+        // Window saturated: everything left streams at line rate.
+        t += static_cast<double>(n_segs - sent) * frame_ns_;
+        break;
+      }
+      cwnd = std::min(cwnd * 2.0, bdp_segs);
+    }
+
+    if (loss > 0.0) {
+      const double p_any =
+          -std::expm1(static_cast<double>(n_segs) * std::log1p(-loss));
+      if (rng.bernoulli(p_any)) {
+        // Fast retransmit needs >= 3 dupacks after the hole: impossible for
+        // very short flows, and a tail loss (~3 trailing segments) also
+        // falls back to the timer.
+        const bool rto = n_segs < 4 || rng.bernoulli(3.0 / static_cast<double>(n_segs));
+        t += rto ? static_cast<double>(cfg_.rto_min) : rtt;
+      }
+    }
+    return t;
+  }
+
+ private:
+  FluidConfig cfg_;
+  BitRate rate_;
+  double frame_ns_ = 0.0;
+  double queue_ns_per_hop_ = 0.0;
+};
+
+}  // namespace lgsim::traffic

@@ -54,8 +54,10 @@ FlowSizeDistribution FlowSizeDistribution::make(Workload w) {
                                    {100'000, 0.99},
                                    {1'000'000, 1.0}});
     case Workload::kGoogleAllRpc:
-      // 143 B is the most frequent flow size (§4.3).
+      // 143 B is the most frequent flow size (§4.3): a 0.15-mass atom,
+      // encoded as a duplicated control point with a CDF jump.
       return FlowSizeDistribution({{40, 0.0},
+                                   {143, 0.30},
                                    {143, 0.45},
                                    {256, 0.62},
                                    {512, 0.75},
@@ -74,18 +76,22 @@ FlowSizeDistribution FlowSizeDistribution::make(Workload w) {
                                    {10'000'000, 1.0}});
     case Workload::kAlibabaStorage:
       // Block storage: bimodal, capped at 2 MB (§4.3 uses the 2 MB maximum).
+      // Requests at the cap pile up into an exact 2 MB atom.
       return FlowSizeDistribution({{512, 0.0},
                                    {4096, 0.35},
                                    {16'384, 0.55},
                                    {65'536, 0.72},
                                    {262'144, 0.85},
                                    {1'048'576, 0.95},
+                                   {2'097'152, 0.98},
                                    {2'097'152, 1.0}});
     case Workload::kDctcpWebSearch:
-      // Web search back-end: 24,387 B is the most frequent size (§4.3).
+      // Web search back-end: 24,387 B is the most frequent size (§4.3),
+      // a 0.13-mass atom.
       return FlowSizeDistribution({{1'000, 0.0},
                                    {6'000, 0.15},
                                    {13'000, 0.30},
+                                   {24'387, 0.40},
                                    {24'387, 0.53},
                                    {100'000, 0.70},
                                    {1'000'000, 0.85},
@@ -96,13 +102,15 @@ FlowSizeDistribution FlowSizeDistribution::make(Workload w) {
 }
 
 double FlowSizeDistribution::cdf(double bytes) const {
-  if (bytes <= points_.front().bytes) return 0.0;
+  if (bytes < points_.front().bytes) return 0.0;
   if (bytes >= points_.back().bytes) return 1.0;
+  // Strict `<` finds the first point *above* bytes, so an atom's duplicated
+  // points are skipped past and bytes == atom lands on the jump's upper CDF.
   for (std::size_t i = 1; i < points_.size(); ++i) {
-    if (bytes <= points_[i].bytes) {
+    if (bytes < points_[i].bytes) {
       const auto& a = points_[i - 1];
       const auto& b = points_[i];
-      if (b.bytes <= a.bytes) return b.cdf;
+      if (bytes <= a.bytes) return a.cdf;
       const double f = (std::log(bytes) - std::log(a.bytes)) /
                        (std::log(b.bytes) - std::log(a.bytes));
       return a.cdf + f * (b.cdf - a.cdf);
@@ -111,12 +119,14 @@ double FlowSizeDistribution::cdf(double bytes) const {
   return 1.0;
 }
 
-std::int64_t FlowSizeDistribution::sample(Rng& rng) const {
-  const double u = rng.uniform();
+std::int64_t FlowSizeDistribution::quantile(double u) const {
   for (std::size_t i = 1; i < points_.size(); ++i) {
     if (u <= points_[i].cdf) {
       const auto& a = points_[i - 1];
       const auto& b = points_[i];
+      // Atom (CDF jump at one byte value): return it exactly rather than
+      // going through exp(log(...)), whose rounding could land one byte off.
+      if (b.bytes <= a.bytes) return static_cast<std::int64_t>(b.bytes);
       if (b.cdf <= a.cdf) return static_cast<std::int64_t>(b.bytes);
       const double f = (u - a.cdf) / (b.cdf - a.cdf);
       const double lg =
@@ -125,6 +135,10 @@ std::int64_t FlowSizeDistribution::sample(Rng& rng) const {
     }
   }
   return static_cast<std::int64_t>(points_.back().bytes);
+}
+
+std::int64_t FlowSizeDistribution::sample(Rng& rng) const {
+  return quantile(rng.uniform());
 }
 
 double FlowSizeDistribution::single_packet_fraction(double mtu_payload) const {

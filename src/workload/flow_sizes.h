@@ -3,10 +3,12 @@
 // Each workload is an empirical CDF over message/flow sizes, encoded as
 // piecewise log-linear control points digitized from the published curves
 // the paper plots (Meta key-value [7], Google search RPC / all RPC [52],
-// Meta Hadoop [47], Alibaba storage [34], DCTCP web search [3]). Two sizes
-// the paper singles out are exactly representable: 143 B is the most
-// frequent Google-all-RPC flow and 24,387 B the most frequent DCTCP
-// web-search flow; 2 MB is the Alibaba storage maximum.
+// Meta Hadoop [47], Alibaba storage [34], DCTCP web search [3]). Three sizes
+// the paper singles out are exactly representable *atoms* (control points
+// duplicated with a CDF jump, so inverse sampling returns the exact byte
+// value with the atom's probability mass): 143 B is the most frequent
+// Google-all-RPC flow, 24,387 B the most frequent DCTCP web-search flow, and
+// 2 MB the Alibaba storage request cap.
 #pragma once
 
 #include <cstdint>
@@ -40,8 +42,14 @@ class FlowSizeDistribution {
   static FlowSizeDistribution make(Workload w);
 
   /// P(size <= bytes), log-linear interpolation between control points.
+  /// Atoms (duplicated control points) count at their byte value: cdf(143)
+  /// includes the whole 143 B jump for Google all RPC.
   double cdf(double bytes) const;
-  /// Inverse CDF sampling.
+  /// Inverse CDF: the flow size at cumulative probability u in [0, 1).
+  /// Monotone non-decreasing in u; u inside an atom's CDF jump returns the
+  /// atom's exact byte value (no log-interpolation rounding).
+  std::int64_t quantile(double u) const;
+  /// Inverse CDF sampling: quantile(rng.uniform()).
   std::int64_t sample(Rng& rng) const;
   /// Fraction of flows that fit in a single packet of `mtu_payload` bytes.
   double single_packet_fraction(double mtu_payload = 1448) const;

@@ -1,0 +1,302 @@
+// Tests for the fabric-scale hybrid-fidelity traffic engine (src/traffic).
+#include <cstring>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "corropt/corropt.h"
+#include "traffic/engine.h"
+#include "traffic/fluid.h"
+#include "traffic/path.h"
+#include "workload/arrivals.h"
+
+namespace lgsim::traffic {
+namespace {
+
+fabric::TopologyConfig small_topo() {
+  return {.pods = 2, .tors_per_pod = 4, .fabrics_per_pod = 2,
+          .spines_per_plane = 4};
+}
+
+EngineConfig small_cfg() {
+  EngineConfig c;
+  c.topo = small_topo();
+  c.hosts_per_tor = 2;
+  c.duration_sec = 0.002;
+  c.slices = 4;
+  c.seeds = {1, 2};
+  c.scheme = Scheme::kCorrOptLg;
+  c.fidelity = Fidelity::kHybrid;
+  c.corrupting_links = 6;
+  c.capacity_constraint = 1.0;  // nothing disabled: corrupting links stay hot
+  c.forced_loss_rate = 1e-3;
+  c.scenario_seed = 5;
+  c.arrivals.load_fraction = 0.2;
+  return c;
+}
+
+bool same_samples(const lgsim::PercentileTracker& a,
+                  const lgsim::PercentileTracker& b) {
+  const auto& x = a.sorted_samples();
+  const auto& y = b.sorted_samples();
+  if (x.size() != y.size()) return false;
+  return x.empty() ||
+         std::memcmp(x.data(), y.data(), x.size() * sizeof(double)) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------------
+
+TEST(Arrivals, PoissonRateMatchesLoadDerivation) {
+  workload::ArrivalSpec spec;
+  spec.load_fraction = 0.1;
+  spec.edge_rate = gbps(25);
+  const double mean_bytes = 10'000;
+  const double rate = workload::flows_per_sec(spec, mean_bytes);
+  EXPECT_NEAR(rate, 0.1 * 25e9 / (8 * 10'000), 1e-6);
+
+  workload::ArrivalProcess p(spec, mean_bytes, Rng(7));
+  double sum = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += p.next_gap_sec();
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.02 / rate);
+}
+
+TEST(Arrivals, LognormalMatchesMeanGap) {
+  workload::ArrivalSpec spec;
+  spec.process = workload::ArrivalSpec::Process::kLognormal;
+  spec.load_fraction = 0.2;
+  spec.lognormal_sigma = 1.0;
+  const double mean_bytes = 27'000;
+  workload::ArrivalProcess p(spec, mean_bytes, Rng(11));
+  double sum = 0;
+  const int n = 400'000;
+  for (int i = 0; i < n; ++i) sum += p.next_gap_sec();
+  const double want = 1.0 / workload::flows_per_sec(spec, mean_bytes);
+  EXPECT_NEAR(sum / n, want, 0.05 * want);
+}
+
+TEST(Arrivals, StreamsAreIndependentPerCellAndHost) {
+  // Different (seed, cell, host) triples must give different streams; the
+  // same triple the same stream.
+  Rng a = workload::stream_rng(1, 2, 3);
+  Rng a2 = workload::stream_rng(1, 2, 3);
+  Rng b = workload::stream_rng(1, 2, 4);
+  Rng c = workload::stream_rng(1, 3, 3);
+  Rng d = workload::stream_rng(2, 2, 3);
+  const std::uint64_t va = a.next_u64();
+  EXPECT_EQ(va, a2.next_u64());
+  EXPECT_NE(va, b.next_u64());
+  EXPECT_NE(va, c.next_u64());
+  EXPECT_NE(va, d.next_u64());
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------------
+
+TEST(PathResolver, ResolvesAllPairClassesOnHealthyFabric) {
+  fabric::FabricTopology topo(small_topo());
+  PathResolver pr(topo, 2);
+  ASSERT_EQ(pr.n_hosts(), 2 * 4 * 2);
+
+  // Same ToR: hosts 0 and 1.
+  PathInfo p0 = pr.resolve(0, 1, 12345);
+  EXPECT_TRUE(p0.ok);
+  EXPECT_EQ(p0.n_links, 0);
+
+  // Intra-pod, different ToR: hosts 0 and 2 (pod 0, tors 0 and 1).
+  PathInfo p2 = pr.resolve(0, 2, 999);
+  EXPECT_TRUE(p2.ok);
+  EXPECT_EQ(p2.n_links, 2);
+  for (int i = 0; i < p2.n_links; ++i) {
+    EXPECT_EQ(topo.link(p2.links[i]).layer, fabric::LinkLayer::kTorFabric);
+  }
+
+  // Inter-pod: host 0 (pod 0) to last host (pod 1).
+  PathInfo p4 = pr.resolve(0, pr.n_hosts() - 1, 31337);
+  EXPECT_TRUE(p4.ok);
+  EXPECT_EQ(p4.n_links, 4);
+  EXPECT_EQ(topo.link(p4.links[0]).layer, fabric::LinkLayer::kTorFabric);
+  EXPECT_EQ(topo.link(p4.links[1]).layer, fabric::LinkLayer::kFabricSpine);
+  EXPECT_EQ(topo.link(p4.links[2]).layer, fabric::LinkLayer::kFabricSpine);
+  EXPECT_EQ(topo.link(p4.links[3]).layer, fabric::LinkLayer::kTorFabric);
+}
+
+TEST(PathResolver, EcmpHashSpreadsAcrossFabrics) {
+  fabric::FabricTopology topo(small_topo());
+  PathResolver pr(topo, 2);
+  std::set<std::int64_t> first_links;
+  for (std::uint64_t h = 0; h < 16; ++h) {
+    PathInfo p = pr.resolve(0, pr.n_hosts() - 1, h);
+    ASSERT_TRUE(p.ok);
+    first_links.insert(p.links[0]);
+  }
+  // 2 fabrics per pod -> both ToR uplinks must appear across hashes.
+  EXPECT_EQ(first_links.size(), 2u);
+}
+
+TEST(PathResolver, RoutesAroundDisabledLinksAndStrandsWhenNoneLeft) {
+  fabric::FabricTopology topo(small_topo());
+  PathResolver pr(topo, 2);
+  // Disable ToR 0's uplink to fabric 0; every 0->remote path must then use
+  // fabric 1.
+  const std::int64_t dead = topo.tor_fabric_link(0, 0, 0);
+  topo.apply({fabric::LinkTransition::Kind::kDisable, dead, 0.0, 1.0});
+  for (std::uint64_t h = 0; h < 8; ++h) {
+    PathInfo p = pr.resolve(0, pr.n_hosts() - 1, h);
+    ASSERT_TRUE(p.ok);
+    EXPECT_NE(p.links[0], dead);
+  }
+  // Disable the other uplink too: ToR 0 is cut off from other ToRs.
+  topo.apply({fabric::LinkTransition::Kind::kDisable,
+              topo.tor_fabric_link(0, 0, 1), 0.0, 1.0});
+  PathInfo p = pr.resolve(0, pr.n_hosts() - 1, 3);
+  EXPECT_FALSE(p.ok);
+  // Same-ToR traffic is unaffected.
+  EXPECT_TRUE(pr.resolve(0, 1, 3).ok);
+}
+
+// ---------------------------------------------------------------------------
+// Fluid model
+// ---------------------------------------------------------------------------
+
+TEST(FluidModel, MonotoneInSizeHopsAndLoss) {
+  const FluidModel m(FluidConfig{}, gbps(100));
+  Rng rng(1);
+  const double f_small = m.fct_ns(1'000, 4, 0.0, rng);
+  const double f_big = m.fct_ns(1'000'000, 4, 0.0, rng);
+  EXPECT_LT(f_small, f_big);
+  const double f_near = m.fct_ns(10'000, 0, 0.0, rng);
+  const double f_far = m.fct_ns(10'000, 4, 0.0, rng);
+  EXPECT_LT(f_near, f_far);
+  // Certain loss adds a visible recovery penalty on average.
+  double lossy = 0, clean = 0;
+  for (int i = 0; i < 200; ++i) {
+    lossy += m.fct_ns(100'000, 4, 0.5, rng);
+    clean += m.fct_ns(100'000, 4, 0.0, rng);
+  }
+  EXPECT_GT(lossy, clean);
+}
+
+TEST(FluidModel, NoLossFctTracksPacketReferenceDecade) {
+  // Coarse agreement band with the packet-level testbed path: a 24,387 B
+  // DCTCP flow completes in ~60-70 us there (bench_fig11 no-loss row); the
+  // fluid estimate must land within 3x either way.
+  FluidConfig fc;
+  fc.load = 0.0;
+  const FluidModel m(fc, gbps(100));
+  Rng rng(1);
+  const double us = m.fct_ns(24'387, 1, 0.0, rng) / 1000.0;
+  EXPECT_GT(us, 65.0 / 3.0);
+  EXPECT_LT(us, 65.0 * 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+TEST(TrafficEngine, FlowAccountingIsConserved) {
+  const TrafficResult r = run_traffic(small_cfg(), 2);
+  EXPECT_GT(r.generated, 0);
+  EXPECT_EQ(r.generated, r.completed + r.stranded);
+  EXPECT_EQ(r.completed, r.packet_flows + r.fluid_flows);
+  EXPECT_GT(r.victims, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(r.fct_victim_us.count()), r.victims);
+  EXPECT_EQ(static_cast<std::int64_t>(r.fct_bg_us.count()),
+            r.completed - r.victims);
+  // Constraint 1.0 keeps every corrupting link active under LG.
+  EXPECT_EQ(r.hot_links.size(), 6u);
+  EXPECT_EQ(r.disabled_links, 0);
+  for (const HotLink& h : r.hot_links) {
+    EXPECT_TRUE(h.lg);
+    EXPECT_LT(h.residual, h.loss_rate);
+  }
+}
+
+TEST(TrafficEngine, CorrOptDisablesWhenConstraintAllows) {
+  EngineConfig c = small_cfg();
+  c.capacity_constraint = 0.0;  // fast checker always says yes
+  const TrafficResult r = run_traffic(c, 1);
+  EXPECT_EQ(r.hot_links.size(), 0u);
+  EXPECT_EQ(r.disabled_links, 6);
+  EXPECT_EQ(r.victims, 0);
+}
+
+TEST(TrafficEngine, ByteIdenticalAcrossWorkerCounts) {
+  const EngineConfig c = small_cfg();
+  const TrafficResult r1 = run_traffic(c, 1);
+  const TrafficResult r4 = run_traffic(c, 4);
+  const TrafficResult r8 = run_traffic(c, 8);
+  for (const TrafficResult* r : {&r4, &r8}) {
+    EXPECT_EQ(r1.generated, r->generated);
+    EXPECT_EQ(r1.victims, r->victims);
+    EXPECT_EQ(r1.stranded, r->stranded);
+    EXPECT_TRUE(same_samples(r1.fct_victim_us, r->fct_victim_us));
+    EXPECT_TRUE(same_samples(r1.fct_bg_us, r->fct_bg_us));
+  }
+}
+
+TEST(TrafficEngine, HybridVictimFctsMatchAllPacketReference) {
+  EngineConfig hybrid = small_cfg();
+  EngineConfig allpkt = small_cfg();
+  allpkt.fidelity = Fidelity::kAllPacket;
+  const TrafficResult h = run_traffic(hybrid, 2);
+  const TrafficResult a = run_traffic(allpkt, 2);
+  ASSERT_GT(h.victims, 0);
+  EXPECT_EQ(h.victims, a.victims);
+  EXPECT_TRUE(same_samples(h.fct_victim_us, a.fct_victim_us));
+  // Background switches model (fluid vs packet) but counts must agree.
+  EXPECT_EQ(h.generated, a.generated);
+  EXPECT_EQ(h.fct_bg_us.count(), a.fct_bg_us.count());
+}
+
+TEST(TrafficEngine, FluidBackgroundTracksPacketBackgroundCoarsely) {
+  EngineConfig hybrid = small_cfg();
+  EngineConfig allpkt = small_cfg();
+  allpkt.fidelity = Fidelity::kAllPacket;
+  const TrafficResult h = run_traffic(hybrid, 2);
+  const TrafficResult a = run_traffic(allpkt, 2);
+  ASSERT_GT(h.fct_bg_us.count(), 100);
+  // Medians within 3x either way: the fluid model is an approximation, but
+  // it must live in the packet reference's decade.
+  const double mh = h.p_bg(50), ma = a.p_bg(50);
+  EXPECT_GT(mh, ma / 3.0);
+  EXPECT_LT(mh, ma * 3.0);
+}
+
+TEST(TrafficEngine, LinkGuardianShrinksVictimTail) {
+  EngineConfig lg = small_cfg();
+  EngineConfig co = small_cfg();
+  co.scheme = Scheme::kCorrOptOnly;
+  const TrafficResult rl = run_traffic(lg, 2);
+  const TrafficResult rc = run_traffic(co, 2);
+  ASSERT_GT(rl.victims, 50);
+  ASSERT_GT(rc.victims, 50);
+  EXPECT_LT(rl.p_victim(99), rc.p_victim(99));
+  EXPECT_LT(rl.fct_victim_us.mean(), rc.fct_victim_us.mean());
+}
+
+TEST(TrafficEngine, VictimOverflowFallsBackToFluid) {
+  EngineConfig c = small_cfg();
+  c.max_packet_flows_per_cell = 1;
+  const TrafficResult r = run_traffic(c, 1);
+  EXPECT_GT(r.victim_fluid_fallback, 0);
+  EXPECT_EQ(static_cast<std::int64_t>(r.fct_victim_us.count()), r.victims);
+}
+
+TEST(TrafficEngine, ExportMetricsMirrorsCounters) {
+  const TrafficResult r = run_traffic(small_cfg(), 2);
+  obs::MetricsRegistry m;
+  r.export_metrics(m);
+  EXPECT_EQ(m.counter("traffic.flows_generated"), r.generated);
+  EXPECT_EQ(m.counter("traffic.flows_victim"), r.victims);
+  EXPECT_EQ(m.counter("traffic.flows_fluid"), r.fluid_flows);
+  EXPECT_EQ(m.counter("traffic.flows_packet"), r.packet_flows);
+  EXPECT_EQ(m.distribution("traffic.fct_victim_us").count(),
+            r.fct_victim_us.count());
+}
+
+}  // namespace
+}  // namespace lgsim::traffic

@@ -83,5 +83,80 @@ TEST(FlowSizes, MeanIsFinite) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Inverse-CDF property tests
+// ---------------------------------------------------------------------------
+
+TEST(FlowSizes, QuantileMonotoneInUniformDraw) {
+  Rng rng(3);
+  for (auto w : kAll) {
+    const auto d = FlowSizeDistribution::make(w);
+    std::int64_t prev = 0;
+    for (int i = 0; i <= 10'000; ++i) {
+      const double u = static_cast<double>(i) / 10'001.0;
+      const std::int64_t q = d.quantile(u);
+      EXPECT_GE(q, prev) << workload_name(w) << " u=" << u;
+      prev = q;
+    }
+    // Random pair ordering too, not just the grid.
+    for (int i = 0; i < 10'000; ++i) {
+      double u1 = rng.uniform(), u2 = rng.uniform();
+      if (u1 > u2) std::swap(u1, u2);
+      EXPECT_LE(d.quantile(u1), d.quantile(u2)) << workload_name(w);
+    }
+  }
+}
+
+TEST(FlowSizes, SampleIsQuantileOfUniform) {
+  const auto d = FlowSizeDistribution::make(Workload::kDctcpWebSearch);
+  Rng a(17), b(17);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(d.sample(a), d.quantile(b.uniform()));
+  }
+}
+
+// The paper's three exactly-representable sizes are genuine atoms: inverse
+// sampling returns the exact byte value with the atom's probability mass.
+TEST(FlowSizes, AtomsAreHitWithTheirMass) {
+  struct Atom {
+    Workload w;
+    std::int64_t bytes;
+    double mass;
+  };
+  const Atom atoms[] = {
+      {Workload::kGoogleAllRpc, 143, 0.15},       // most frequent all-RPC size
+      {Workload::kDctcpWebSearch, 24'387, 0.13},  // most frequent web-search
+      {Workload::kAlibabaStorage, 2'097'152, 0.02},  // 2 MB storage cap
+  };
+  Rng rng(29);
+  const int n = 1'000'000;
+  for (const Atom& a : atoms) {
+    const auto d = FlowSizeDistribution::make(a.w);
+    int hits = 0;
+    for (int i = 0; i < n; ++i) {
+      if (d.sample(rng) == a.bytes) ++hits;
+    }
+    EXPECT_NEAR(static_cast<double>(hits) / n, a.mass, 0.01)
+        << workload_name(a.w);
+    // The CDF jump brackets the atom: strictly positive mass exactly there.
+    EXPECT_GT(d.cdf(static_cast<double>(a.bytes)),
+              d.cdf(static_cast<double>(a.bytes) - 0.5) + a.mass / 2)
+        << workload_name(a.w);
+  }
+}
+
+TEST(FlowSizes, EmpiricalMeanMatchesAnalyticMean) {
+  Rng rng(41);
+  const int n = 1'000'000;
+  for (auto w : kAll) {
+    const auto d = FlowSizeDistribution::make(w);
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+    const double emp = sum / n;
+    const double ana = d.mean_bytes();
+    EXPECT_NEAR(emp, ana, 0.03 * ana) << workload_name(w);
+  }
+}
+
 }  // namespace
 }  // namespace lgsim::workload
