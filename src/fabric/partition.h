@@ -1,0 +1,84 @@
+// Topology partitioner for the sharded simulation runtime (sim/shard.h).
+//
+// Shards the fabric along its natural seam: pods. Every link of both layers
+// carries a pod index (a fabric-spine link belongs to the pod of its fabric
+// switch), and hosts are numbered pod-major, so contiguous pod blocks give
+// each shard a self-contained slice — its hosts, its ToRs, and every link
+// whose pod it owns. Cross-shard traffic (a flow whose victim link lives in
+// another pod block) is the only thing that crosses a boundary, and it does
+// so over >= one inter-pod hop of propagation latency, which is exactly the
+// conservative lookahead the windowed sync needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/topology.h"
+
+namespace lgsim::fabric {
+
+/// Contiguous-pod-block partition of a fabric into K shards. K is clamped to
+/// [1, pods] — a shard with zero pods would never gate anyone and only add
+/// channel edges.
+class PodPartition {
+ public:
+  static PodPartition make(const TopologyConfig& cfg,
+                           std::int32_t want_shards) {
+    PodPartition p;
+    p.pods_ = cfg.pods;
+    std::int32_t k = want_shards;
+    if (k < 1) k = 1;
+    if (k > cfg.pods) k = cfg.pods;
+    p.first_pod_.reserve(static_cast<std::size_t>(k) + 1);
+    for (std::int32_t s = 0; s <= k; ++s)
+      p.first_pod_.push_back(static_cast<std::int32_t>(
+          static_cast<std::int64_t>(s) * cfg.pods / k));
+    return p;
+  }
+
+  std::int32_t n_shards() const {
+    return static_cast<std::int32_t>(first_pod_.size()) - 1;
+  }
+
+  /// First pod of shard s; first_pod(n_shards()) == pods (end sentinel).
+  std::int32_t first_pod(std::int32_t s) const {
+    return first_pod_[static_cast<std::size_t>(s)];
+  }
+  std::int32_t pods_in_shard(std::int32_t s) const {
+    return first_pod(s + 1) - first_pod(s);
+  }
+
+  std::int32_t shard_of_pod(std::int32_t pod) const {
+    // Blocks are near-equal, so the dividing guess is off by at most one.
+    const std::int32_t k = n_shards();
+    std::int32_t s = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(pod) * k / pods_);
+    while (s + 1 < k && first_pod(s + 1) <= pod) ++s;
+    while (s > 0 && first_pod(s) > pod) --s;
+    return s;
+  }
+
+  std::int32_t shard_of_link(const Link& l) const {
+    return shard_of_pod(l.pod);
+  }
+
+  /// Hosts are numbered pod-major: host = (pod*tors_per_pod + tor)*hpt + h,
+  /// so each shard owns the contiguous host range of its pod block.
+  std::int64_t first_host(std::int32_t s, const TopologyConfig& cfg,
+                          std::int32_t hosts_per_tor) const {
+    return static_cast<std::int64_t>(first_pod(s)) * cfg.tors_per_pod *
+           hosts_per_tor;
+  }
+  std::int32_t shard_of_host(std::int64_t host, const TopologyConfig& cfg,
+                             std::int32_t hosts_per_tor) const {
+    const std::int64_t per_pod =
+        static_cast<std::int64_t>(cfg.tors_per_pod) * hosts_per_tor;
+    return shard_of_pod(static_cast<std::int32_t>(host / per_pod));
+  }
+
+ private:
+  std::int32_t pods_ = 1;
+  std::vector<std::int32_t> first_pod_;  // size n_shards()+1
+};
+
+}  // namespace lgsim::fabric

@@ -1,0 +1,175 @@
+// Cross-shard boundary channels for the sharded simulation runtime
+// (sim/shard.h, DESIGN.md §15).
+//
+// A BoundaryChannel carries "frames in flight" between two shard Simulators:
+// each message is an InlineCallback to execute on the destination shard,
+// stamped with its absolute arrival time and a producer-side sequence
+// number. The producer is always the source shard's worker thread and the
+// consumer the destination shard's worker thread, so the hot path is a
+// single-producer/single-consumer ring of monotonically increasing uint32
+// indices (wrapping arithmetic, firedancer-style); a full ring falls back to
+// a mutex-protected overflow vector rather than blocking the producer
+// mid-window.
+//
+// Sequence numbers are 32-bit on the wire and unwrapped to 64 bits at the
+// consumer (bounded in-flight window, same discipline as the LG sequence
+// handling), because the canonical cross-shard delivery order — the
+// determinism contract of shard.h — sorts on (arrival time, source shard,
+// channel seq) and a wrapped 32-bit compare would misorder messages
+// straddling the wrap. tests/shard_test.cc pins both wraparounds.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "sim/event.h"
+#include "util/units.h"
+
+namespace lgsim::sim {
+
+/// One message crossing a shard boundary.
+struct BoundaryMessage {
+  SimTime arrival = 0;     // absolute destination-shard execution time
+  std::uint32_t seq = 0;   // producer-stamped, wraps; unwrapped at drain
+  InlineCallback cb;
+};
+
+/// Fixed-capacity single-producer/single-consumer ring. Head and tail are
+/// free-running uint32 counters (wrap-safe distance arithmetic); `start`
+/// lets tests begin near the wrap. Producer owns tail, consumer owns head.
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity = 1024, std::uint32_t start = 0)
+      : head_(start), tail_(start) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;  // power of two for mask indexing
+    buf_.resize(cap);
+    mask_ = static_cast<std::uint32_t>(cap - 1);
+  }
+
+  bool try_push(BoundaryMessage&& m) {
+    const std::uint32_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) > mask_) return false;
+    buf_[t & mask_] = std::move(m);
+    tail_.store(t + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool try_pop(BoundaryMessage& out) {
+    const std::uint32_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;
+    out = std::move(buf_[h & mask_]);
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<BoundaryMessage> buf_;
+  std::uint32_t mask_ = 0;
+  alignas(64) std::atomic<std::uint32_t> head_;
+  alignas(64) std::atomic<std::uint32_t> tail_;
+};
+
+/// Directed shard-to-shard channel: SPSC ring + overflow fallback +
+/// producer-side sequence stamping + consumer-side 64-bit unwrap.
+class BoundaryChannel {
+ public:
+  /// `min_latency` is the conservative lookahead of this edge: every post
+  /// must arrive at least that far after the producer's current time.
+  /// `seq_start` begins the (wrapping) sequence space there — tests start
+  /// near UINT32_MAX to cover the wrap.
+  explicit BoundaryChannel(SimTime min_latency, std::size_t capacity = 1024,
+                           std::uint32_t seq_start = 0)
+      : min_latency_(min_latency),
+        ring_(capacity, seq_start),
+        next_seq_(seq_start),
+        next_seq64_(seq_start) {}
+
+  SimTime min_latency() const { return min_latency_; }
+
+  /// Producer side (source shard's worker only). `send_time` is the
+  /// producer's clock at post time; posting with arrival < send + lookahead
+  /// would break the windowed sync safety argument, so it aborts loudly
+  /// instead of corrupting determinism.
+  template <typename F>
+  void post(SimTime send_time, SimTime arrival, F&& fn) {
+    if (arrival < send_time + min_latency_) {
+      std::fprintf(stderr,
+                   "BoundaryChannel: arrival %lld violates lookahead "
+                   "(send %lld + latency %lld)\n",
+                   static_cast<long long>(arrival),
+                   static_cast<long long>(send_time),
+                   static_cast<long long>(min_latency_));
+      std::abort();
+    }
+    BoundaryMessage m;
+    m.arrival = arrival;
+    m.seq = next_seq_++;
+    m.cb.emplace(std::forward<F>(fn));
+    ++pushed_;
+    if (!ring_.try_push(std::move(m))) {
+      ++overflowed_;
+      std::lock_guard<std::mutex> lock(overflow_mu_);
+      overflow_.push_back(std::move(m));
+    }
+  }
+
+  /// Consumer side (destination shard's worker only). Drains every message
+  /// currently published — ring first, then the overflow spill — and hands
+  /// each to `fn(BoundaryMessage&&, seq64)`. seq64 is the unwrapped 64-bit
+  /// sequence: messages may surface ring/overflow-interleaved, but the
+  /// in-flight window is far below 2^31, so the signed distance from the
+  /// highest sequence seen reconstructs the true posting index exactly.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    BoundaryMessage m;
+    while (ring_.try_pop(m)) fn(std::move(m), unwrap(m.seq));
+    if (overflowed_.load(std::memory_order_relaxed) > drained_overflow_) {
+      std::vector<BoundaryMessage> spill;
+      {
+        std::lock_guard<std::mutex> lock(overflow_mu_);
+        spill.swap(overflow_);
+      }
+      drained_overflow_ += static_cast<std::uint64_t>(spill.size());
+      for (BoundaryMessage& s : spill) fn(std::move(s), unwrap(s.seq));
+    }
+  }
+
+  /// Producer-side stats; stable once the producer has quiesced.
+  std::uint64_t pushed() const { return pushed_; }
+  std::uint64_t overflowed() const {
+    return overflowed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::uint64_t unwrap(std::uint32_t seq) {
+    const auto delta = static_cast<std::int64_t>(
+        static_cast<std::int32_t>(seq - static_cast<std::uint32_t>(next_seq64_)));
+    const std::uint64_t seq64 =
+        next_seq64_ + static_cast<std::uint64_t>(delta);
+    if (delta >= 0) next_seq64_ = seq64 + 1;
+    return seq64;
+  }
+
+  SimTime min_latency_;
+  SpscRing ring_;
+  // Producer-owned.
+  std::uint32_t next_seq_;
+  std::uint64_t pushed_ = 0;
+  // Shared overflow spill (rare path).
+  std::mutex overflow_mu_;
+  std::vector<BoundaryMessage> overflow_;
+  std::atomic<std::uint64_t> overflowed_{0};
+  // Consumer-owned.
+  std::uint64_t next_seq64_;
+  std::uint64_t drained_overflow_ = 0;
+};
+
+}  // namespace lgsim::sim

@@ -1,0 +1,321 @@
+// Sharded simulation runtime: one simulation, many cores (DESIGN.md §15).
+//
+// Partitions a simulation into K independent `Simulator` instances (shards)
+// that exchange work only through sim/boundary.h channels, and advances them
+// under conservative time-window synchronization — the classic
+// null-message/LBTS discipline specialized to a fixed lookahead:
+//
+//   * Every channel guarantees a minimum latency >= the global window W
+//     (for a fabric, the minimum inter-shard link propagation latency), so a
+//     message posted during window m (send time >= T_m = m*W, arrival >=
+//     send + W) can only land in window m+1 or later.
+//   * Shard k may therefore execute window m as soon as every in-neighbor
+//     has *finished* window m-1 — at that point all messages that can land
+//     in [T_m, T_{m+1}) are already published. Progression is barrier-free:
+//     each shard publishes a per-shard window counter (release) and gates on
+//     its in-neighbors' counters (acquire); unrelated shards never wait for
+//     each other, and a shard with no in-edges free-runs to the horizon.
+//
+// Determinism is the contract that makes sharding usable as a drop-in
+// replacement for a single Simulator: before a shard executes a window, all
+// drained messages schedulable in it are inserted in the canonical
+// (arrival time, source shard, channel seq) order, so each shard's event
+// execution is a pure function of the configuration — independent of worker
+// count, shard-to-worker placement, and OS scheduling. A K-shard run is
+// byte-identical to the K=1 reference, which tests/shard_test.cc and the
+// traffic engine's shard-identity tests pin.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+#include "sim/boundary.h"
+#include "sim/simulator.h"
+#include "util/cores.h"
+#include "util/units.h"
+
+namespace lgsim::sim {
+
+/// Aggregate runtime counters, summed over shards in shard order.
+struct ShardStats {
+  std::uint64_t windows_executed = 0;
+  std::uint64_t messages_posted = 0;
+  std::uint64_t messages_delivered = 0;  // scheduled into a destination shard
+  std::uint64_t channel_overflows = 0;
+};
+
+class ShardedSimulator {
+ public:
+  /// `window` is the synchronization quantum W; every connect() latency must
+  /// be >= W. K == 1 degenerates to a plain Simulator (no channels, no
+  /// windows), which is the golden reference path.
+  ShardedSimulator(std::int32_t n_shards, SimTime window)
+      : window_(window > 0 ? window : 1) {
+    if (n_shards < 1) n_shards = 1;
+    shards_.reserve(static_cast<std::size_t>(n_shards));
+    for (std::int32_t k = 0; k < n_shards; ++k)
+      shards_.push_back(std::make_unique<Shard>());
+    channels_.resize(static_cast<std::size_t>(n_shards) *
+                     static_cast<std::size_t>(n_shards));
+  }
+
+  std::int32_t n_shards() const {
+    return static_cast<std::int32_t>(shards_.size());
+  }
+  SimTime window() const { return window_; }
+  Simulator& shard(std::int32_t k) { return shards_[idx(k)]->sim; }
+
+  /// Declares the directed edge src -> dst. Must be called before run();
+  /// self-edges are meaningless (a shard posts to itself by scheduling) and
+  /// rejected. `seq_start` starts the channel's wrapping sequence space
+  /// (tests begin near UINT32_MAX to pin the wrap).
+  BoundaryChannel& connect(std::int32_t src, std::int32_t dst,
+                           SimTime min_latency, std::size_t capacity = 1024,
+                           std::uint32_t seq_start = 0) {
+    if (src == dst || min_latency < window_) {
+      std::fprintf(stderr,
+                   "ShardedSimulator::connect: bad edge %d->%d "
+                   "(latency %lld, window %lld)\n",
+                   src, dst, static_cast<long long>(min_latency),
+                   static_cast<long long>(window_));
+      std::abort();
+    }
+    auto& slot = channels_[idx(src) * shards_.size() + idx(dst)];
+    if (!slot) {
+      slot = std::make_unique<BoundaryChannel>(min_latency, capacity,
+                                               seq_start);
+      Shard& d = *shards_[idx(dst)];
+      d.in.push_back({src, slot.get()});
+      std::sort(d.in.begin(), d.in.end(),
+                [](const InEdge& a, const InEdge& b) { return a.src < b.src; });
+    }
+    return *slot;
+  }
+
+  /// Convenience: all ordered pairs with one latency.
+  void connect_all(SimTime min_latency, std::size_t capacity = 1024) {
+    for (std::int32_t s = 0; s < n_shards(); ++s)
+      for (std::int32_t d = 0; d < n_shards(); ++d)
+        if (s != d) connect(s, d, min_latency, capacity);
+  }
+
+  /// Posts `fn` to run on shard `dst` at absolute time `arrival`. Must be
+  /// called from src's execution context (its events, or before run()).
+  template <typename F>
+  void post(std::int32_t src, std::int32_t dst, SimTime arrival, F&& fn) {
+    BoundaryChannel* ch =
+        channels_[idx(src) * shards_.size() + idx(dst)].get();
+    if (ch == nullptr) {
+      std::fprintf(stderr, "ShardedSimulator::post: no channel %d->%d\n", src,
+                   dst);
+      std::abort();
+    }
+    ch->post(shards_[idx(src)]->sim.now(), arrival, std::forward<F>(fn));
+    ++shards_[idx(src)]->posted;
+  }
+
+  /// Optional per-shard trace sink: installed (SinkScope) around every
+  /// window the shard executes, so probes fired by shard events land in
+  /// their shard's sink. The caller owns the sinks and merges them in shard
+  /// order (obs::TraceSink::absorb) — the deterministic merge order.
+  void set_shard_sink(std::int32_t k, obs::TraceSink* sink) {
+    shards_[idx(k)]->sink = sink;
+  }
+
+  /// Advances every shard through time `until` (inclusive, like
+  /// Simulator::run). `workers` == 0 sizes the pool from the shared core
+  /// budget (util/cores.h); any worker count produces identical results.
+  void run(SimTime until, unsigned workers = 0) {
+    if (until < 0) until = 0;
+    if (workers == 0)
+      workers = cores_available(static_cast<unsigned>(shards_.size()));
+    workers = std::min<unsigned>(
+        workers, static_cast<unsigned>(shards_.size()));
+    const std::int64_t last_window = until / window_;
+
+    auto worker_fn = [&](std::size_t first, std::size_t last) {
+      unsigned idle_passes = 0;
+      for (;;) {
+        bool progressed = false;
+        bool all_done = true;
+        for (std::size_t k = first; k < last; ++k) {
+          Shard& sh = *shards_[k];
+          while (sh.done.load(std::memory_order_relaxed) < last_window &&
+                 gate_open(sh)) {
+            execute_window(sh, until);
+            progressed = true;
+          }
+          if (sh.done.load(std::memory_order_relaxed) < last_window)
+            all_done = false;
+        }
+        if (all_done) return;
+        if (!progressed) {
+          // An in-neighbor owned by another worker is behind; yield rather
+          // than burn the core it may need.
+          if (++idle_passes > 16) std::this_thread::yield();
+        } else {
+          idle_passes = 0;
+        }
+      }
+    };
+
+    if (workers <= 1) {
+      worker_fn(0, shards_.size());
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      const std::size_t n = shards_.size();
+      for (unsigned w = 1; w < workers; ++w)
+        pool.emplace_back(worker_fn, n * w / workers, n * (w + 1) / workers);
+      worker_fn(0, n / workers);
+      for (auto& t : pool) t.join();
+    }
+  }
+
+  ShardStats stats() const {
+    ShardStats s;
+    for (const auto& sh : shards_) {
+      s.windows_executed += sh->windows;
+      s.messages_posted += sh->posted;
+      s.messages_delivered += sh->delivered;
+    }
+    for (const auto& ch : channels_)
+      if (ch) s.channel_overflows += ch->overflowed();
+    return s;
+  }
+
+ private:
+  struct InEdge {
+    std::int32_t src;
+    BoundaryChannel* ch;
+  };
+
+  /// A message staged at the destination: drained from its channel but not
+  /// yet schedulable (arrival beyond the current window). Min-heap on the
+  /// canonical (arrival, src, seq64) delivery key.
+  struct Staged {
+    SimTime arrival;
+    std::int32_t src;
+    std::uint64_t seq64;
+    InlineCallback cb;
+  };
+  static bool staged_after(const Staged& a, const Staged& b) {
+    if (a.arrival != b.arrival) return a.arrival > b.arrival;
+    if (a.src != b.src) return a.src > b.src;
+    return a.seq64 > b.seq64;
+  }
+
+  struct Shard {
+    Simulator sim;
+    obs::TraceSink* sink = nullptr;
+    std::vector<InEdge> in;
+    std::vector<Staged> staging;  // heap via staged_after
+    std::atomic<std::int64_t> done{-1};
+    std::uint64_t windows = 0;
+    std::uint64_t posted = 0;
+    std::uint64_t delivered = 0;
+  };
+
+  std::size_t idx(std::int32_t k) const {
+    if (k < 0 || static_cast<std::size_t>(k) >= shards_.size()) {
+      std::fprintf(stderr, "ShardedSimulator: shard %d out of range\n", k);
+      std::abort();
+    }
+    return static_cast<std::size_t>(k);
+  }
+
+  /// Window m is safe once every in-neighbor finished window m-1: all
+  /// messages that can land in [T_m, T_{m+1}) were posted during neighbor
+  /// windows <= m-1 and are published by the neighbor's release store.
+  bool gate_open(const Shard& sh) const {
+    const std::int64_t next = sh.done.load(std::memory_order_relaxed) + 1;
+    for (const InEdge& e : sh.in) {
+      if (shards_[idx(e.src)]->done.load(std::memory_order_acquire) <
+          next - 1)
+        return false;
+    }
+    return true;
+  }
+
+  void execute_window(Shard& sh, SimTime until) {
+    const std::int64_t m = sh.done.load(std::memory_order_relaxed) + 1;
+    const SimTime w_end = std::min<SimTime>((m + 1) * window_ - 1, until);
+    // Drain everything published; messages beyond this window stay staged.
+    for (const InEdge& e : sh.in) {
+      e.ch->drain([&](BoundaryMessage&& bm, std::uint64_t seq64) {
+        sh.staging.push_back(
+            Staged{bm.arrival, e.src, seq64, std::move(bm.cb)});
+        std::push_heap(sh.staging.begin(), sh.staging.end(), staged_after);
+      });
+    }
+    // Canonical delivery: pop in (arrival, src, seq) order, schedule before
+    // the window's own events run — deterministic interleaving by the
+    // kernel's (time, schedule seq) rule.
+    while (!sh.staging.empty() && sh.staging.front().arrival <= w_end) {
+      std::pop_heap(sh.staging.begin(), sh.staging.end(), staged_after);
+      Staged st = std::move(sh.staging.back());
+      sh.staging.pop_back();
+      if (st.arrival < sh.sim.now()) {
+        std::fprintf(stderr,
+                     "ShardedSimulator: late cross-shard delivery at %lld "
+                     "(shard clock %lld) — lookahead contract broken\n",
+                     static_cast<long long>(st.arrival),
+                     static_cast<long long>(sh.sim.now()));
+        std::abort();
+      }
+      sh.sim.schedule_at(st.arrival, std::move(st.cb));
+      ++sh.delivered;
+    }
+    if (sh.sink != nullptr) {
+      obs::SinkScope scope(sh.sink);
+      sh.sim.run(w_end);
+    } else {
+      sh.sim.run(w_end);
+    }
+    ++sh.windows;
+    sh.done.store(m, std::memory_order_release);
+  }
+
+  SimTime window_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<std::unique_ptr<BoundaryChannel>> channels_;  // src*K + dst
+};
+
+/// Deterministic fan-out of `n` independent tasks over the shard worker
+/// pool: runs fn(i) for every i in [0, n) on up to `workers` threads via an
+/// atomic cursor. Results must go into caller-owned per-index slots, so the
+/// worker count affects wall clock only — the shard runtime uses this for
+/// packet-level replay groups, and bench_fig08_stress --shards for whole
+/// grid cells (single-link workloads have no cross-shard edges to cut).
+template <typename Fn>
+inline void run_indexed(std::size_t n, unsigned workers, Fn&& fn) {
+  if (workers == 0) workers = cores_available(static_cast<unsigned>(n));
+  workers = std::min<unsigned>(workers, static_cast<unsigned>(n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace lgsim::sim

@@ -1,0 +1,72 @@
+// Shared core budget for nested parallelism.
+//
+// Two pools can now ask for workers at once: harness::ParallelRunner fans
+// replication cells out across LGSIM_BENCH_JOBS threads, and a sharded cell
+// (sim/shard.h) wants several workers *inside* one cell. Without
+// coordination, jobs x shards oversubscribes the machine and every run slows
+// down. The ledger below is the coordination point: an outer pool leases its
+// worker count for the duration of its run, and inner pools size themselves
+// from what is left.
+//
+// Worker counts derived here affect wall clock ONLY, never results — every
+// consumer (ParallelRunner, ShardedSimulator, the shard task pool) is
+// byte-identical for any worker count, so a mis-sized budget is a perf bug,
+// not a correctness bug.
+#pragma once
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "util/env.h"
+
+namespace lgsim {
+
+/// Cores the process may use: LGSIM_CORES if set (strictly positive integer;
+/// garbage falls back), else hardware_concurrency.
+inline unsigned machine_cores() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  return parse_positive_count(std::getenv("LGSIM_CORES"), hw);
+}
+
+namespace cores_detail {
+/// Sum of worker counts currently leased by running pools.
+inline std::atomic<unsigned>& leased() {
+  static std::atomic<unsigned> n{0};
+  return n;
+}
+}  // namespace cores_detail
+
+/// RAII lease of `workers` cores while a pool runs. Taken by
+/// harness::ParallelRunner around its worker fan-out so nested pools (the
+/// sharded cell runtime) can size themselves from the remainder.
+class CoreLease {
+ public:
+  explicit CoreLease(unsigned workers) : workers_(workers) {
+    cores_detail::leased().fetch_add(workers_, std::memory_order_relaxed);
+  }
+  ~CoreLease() {
+    cores_detail::leased().fetch_sub(workers_, std::memory_order_relaxed);
+  }
+  CoreLease(const CoreLease&) = delete;
+  CoreLease& operator=(const CoreLease&) = delete;
+
+ private:
+  unsigned workers_;
+};
+
+/// Workers an *inner* pool should spawn so that outer-jobs x inner-workers
+/// never exceeds the machine: the whole machine when no outer pool is
+/// running, else an even split across the outer pool's workers (floor, min
+/// 1). Capped at `want`.
+inline unsigned cores_available(unsigned want) {
+  if (want < 1) want = 1;
+  const unsigned total = machine_cores();
+  const unsigned outer = cores_detail::leased().load(std::memory_order_relaxed);
+  unsigned avail = outer > 1 ? total / outer : total;
+  if (avail < 1) avail = 1;
+  return avail < want ? avail : want;
+}
+
+}  // namespace lgsim

@@ -87,8 +87,12 @@ class PercentileTracker {
   double min() const { ensure_sorted(); return samples_.empty() ? 0.0 : samples_.front(); }
   double max() const { ensure_sorted(); return samples_.empty() ? 0.0 : samples_.back(); }
 
+  /// Summed in sorted order so the mean — like every percentile — is a pure
+  /// function of the sample *multiset*: trackers filled in different orders
+  /// (per-shard trackers merged at join) report bit-identical means.
   double mean() const {
     if (samples_.empty()) return 0.0;
+    ensure_sorted();
     double s = 0.0;
     for (double x : samples_) s += x;
     return s / static_cast<double>(samples_.size());

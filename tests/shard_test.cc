@@ -1,0 +1,353 @@
+// Tests for the sharded simulation runtime: the SPSC boundary ring and
+// channel (sim/boundary.h), the windowed conservative-sync ShardedSimulator
+// and run_indexed pool (sim/shard.h), and the pod-block partitioner
+// (fabric/partition.h). Every suite name contains "Shard" so the tsan
+// preset's filter picks the whole file up (tests/CMakeLists.txt builds it a
+// second time as shard_tsan_test).
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fabric/partition.h"
+#include "sim/boundary.h"
+#include "sim/shard.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace lgsim::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpscRing
+// ---------------------------------------------------------------------------
+
+BoundaryMessage msg(SimTime arrival, std::uint32_t seq) {
+  BoundaryMessage m;
+  m.arrival = arrival;
+  m.seq = seq;
+  return m;
+}
+
+TEST(ShardRing, FifoOrderAndPowerOfTwoCapacity) {
+  SpscRing r(10);  // rounds up
+  EXPECT_EQ(r.capacity(), 16u);
+  for (std::uint32_t i = 0; i < 16; ++i)
+    ASSERT_TRUE(r.try_push(msg(100 + i, i)));
+  EXPECT_FALSE(r.try_push(msg(999, 999)));  // full
+  BoundaryMessage out;
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    ASSERT_TRUE(r.try_pop(out));
+    EXPECT_EQ(out.arrival, 100 + static_cast<SimTime>(i));
+    EXPECT_EQ(out.seq, i);
+  }
+  EXPECT_FALSE(r.try_pop(out));  // empty
+}
+
+TEST(ShardRing, IndexWraparoundStart) {
+  // Free-running head/tail starting 3 short of the uint32 wrap: pushes and
+  // pops must stay FIFO straight through it.
+  SpscRing r(8, UINT32_MAX - 3);
+  BoundaryMessage out;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    ASSERT_TRUE(r.try_push(msg(i, i)));
+    if (i % 2 == 1) {  // drain two at a time, lagging the producer
+      ASSERT_TRUE(r.try_pop(out));
+      EXPECT_EQ(out.seq, i - 1);
+      ASSERT_TRUE(r.try_pop(out));
+      EXPECT_EQ(out.seq, i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BoundaryChannel
+// ---------------------------------------------------------------------------
+
+TEST(ShardChannel, SeqUnwrapAcrossWrap) {
+  // Sequence space starts 4 short of UINT32_MAX; the unwrapped 64-bit
+  // sequence must keep increasing across the 32-bit wrap.
+  const std::uint32_t start = UINT32_MAX - 3;
+  BoundaryChannel ch(/*min_latency=*/10, /*capacity=*/64, start);
+  for (int i = 0; i < 10; ++i) ch.post(0, 10 + i, [] {});
+  std::vector<std::uint64_t> seqs;
+  ch.drain([&](BoundaryMessage&&, std::uint64_t s64) { seqs.push_back(s64); });
+  ASSERT_EQ(seqs.size(), 10u);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_EQ(seqs[i], static_cast<std::uint64_t>(start) + i);
+}
+
+TEST(ShardChannel, OverflowSpillDrainsEverything) {
+  // Capacity-8 ring, 20 posts in one burst: 8 land in the ring, 12 spill to
+  // the overflow vector. One drain must surface all 20 with their true
+  // posting indices, even though ring and spill interleave at the consumer.
+  BoundaryChannel ch(/*min_latency=*/5, /*capacity=*/8);
+  for (int i = 0; i < 20; ++i) ch.post(0, 100 + i, [] {});
+  EXPECT_EQ(ch.pushed(), 20u);
+  EXPECT_EQ(ch.overflowed(), 12u);
+  std::set<std::uint64_t> seqs;
+  ch.drain([&](BoundaryMessage&& m, std::uint64_t s64) {
+    EXPECT_EQ(m.arrival, 100 + static_cast<SimTime>(s64));
+    seqs.insert(s64);
+  });
+  ASSERT_EQ(seqs.size(), 20u);
+  EXPECT_EQ(*seqs.begin(), 0u);
+  EXPECT_EQ(*seqs.rbegin(), 19u);
+  // Nothing left behind.
+  int more = 0;
+  ch.drain([&](BoundaryMessage&&, std::uint64_t) { ++more; });
+  EXPECT_EQ(more, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedSimulator
+// ---------------------------------------------------------------------------
+
+TEST(ShardedSim, SingleShardMatchesPlainSimulator) {
+  // K == 1 is the golden reference path: same events, same log, same clock.
+  using Rec = std::pair<SimTime, int>;
+  std::vector<Rec> plain, sharded;
+
+  Simulator ref;
+  ShardedSimulator ss(1, /*window=*/10);
+  const SimTime times[] = {0, 3, 3, 7, 25, 25, 40, 99, 105};
+  for (int i = 0; i < 9; ++i) {
+    ref.schedule_at(times[i], [&plain, &ref, i] {
+      plain.emplace_back(ref.now(), i);
+    });
+    ss.shard(0).schedule_at(times[i], [&sharded, &ss, i] {
+      sharded.emplace_back(ss.shard(0).now(), i);
+    });
+  }
+  ref.run(120);
+  ss.run(120, /*workers=*/1);
+  EXPECT_EQ(plain, sharded);
+  EXPECT_EQ(ref.now(), ss.shard(0).now());
+  EXPECT_EQ(ss.shard(0).now(), 120);
+}
+
+TEST(ShardedSim, ClockReachesHorizonOnEveryShard) {
+  ShardedSimulator ss(3, /*window=*/10);
+  ss.connect_all(/*min_latency=*/10);
+  ss.run(/*until=*/105, /*workers=*/1);
+  for (std::int32_t k = 0; k < 3; ++k) EXPECT_EQ(ss.shard(k).now(), 105);
+  // Windows 0..10 inclusive on each shard.
+  EXPECT_EQ(ss.stats().windows_executed, 3u * 11u);
+}
+
+TEST(ShardedSim, CanonicalCrossShardDeliveryOrder) {
+  // Three sources post to shard 0 with identical arrival times; execution
+  // order on shard 0 must be (arrival, src, seq) regardless of post order.
+  const SimTime w = 10;
+  ShardedSimulator ss(4, w);
+  for (std::int32_t s = 1; s < 4; ++s) ss.connect(s, 0, w);
+  std::vector<std::pair<int, int>> order;  // (src, i) in execution order
+  // Post in deliberately scrambled source order, before run().
+  for (int i = 0; i < 2; ++i)
+    for (std::int32_t s : {3, 1, 2})
+      ss.post(s, 0, /*arrival=*/w, [&order, s, i] { order.emplace_back(s, i); });
+  ss.run(3 * w, /*workers=*/1);
+  const std::vector<std::pair<int, int>> want = {
+      {1, 0}, {1, 1}, {2, 0}, {2, 1}, {3, 0}, {3, 1}};
+  EXPECT_EQ(order, want);
+  EXPECT_EQ(ss.stats().messages_posted, 6u);
+  EXPECT_EQ(ss.stats().messages_delivered, 6u);
+}
+
+// Cross-shard ping-pong around a K-shard ring. Hop h executes on shard
+// h % K at time h * W; every shard logs its own hops. Used as the
+// worker-count differential: any placement of shards on workers must
+// produce the identical merged log.
+struct PingRig {
+  explicit PingRig(std::int32_t k, SimTime w, int max_hops)
+      : ss(k, w), logs(static_cast<std::size_t>(k)), window(w), hops(max_hops) {
+    for (std::int32_t s = 0; s < k; ++s)
+      ss.connect(s, (s + 1) % k, w);
+  }
+
+  void hop(int h) {
+    const std::int32_t node = h % ss.n_shards();
+    const SimTime now = ss.shard(node).now();
+    logs[static_cast<std::size_t>(node)].emplace_back(now, h);
+    if (h + 1 < hops) {
+      ss.post(node, (node + 1) % ss.n_shards(), now + window,
+              [this, h] { hop(h + 1); });
+    }
+  }
+
+  std::vector<std::pair<SimTime, int>> run(unsigned workers) {
+    ss.shard(0).schedule_at(0, [this] { hop(0); });
+    ss.run(static_cast<SimTime>(hops) * window + window, workers);
+    std::vector<std::pair<SimTime, int>> merged;
+    for (const auto& l : logs) merged.insert(merged.end(), l.begin(), l.end());
+    std::sort(merged.begin(), merged.end());
+    return merged;
+  }
+
+  ShardedSimulator ss;
+  std::vector<std::vector<std::pair<SimTime, int>>> logs;
+  SimTime window;
+  int hops;
+};
+
+TEST(ShardedSim, PingPongIdenticalAcrossWorkerCounts) {
+  const std::int32_t k = 4;
+  const int hops = 64;
+  const auto ref = PingRig(k, 10, hops).run(1);
+  ASSERT_EQ(ref.size(), static_cast<std::size_t>(hops));
+  for (int h = 0; h < hops; ++h) {
+    EXPECT_EQ(ref[static_cast<std::size_t>(h)].first, 10 * h);
+    EXPECT_EQ(ref[static_cast<std::size_t>(h)].second, h);
+  }
+  for (unsigned workers : {2u, 4u}) {
+    EXPECT_EQ(PingRig(k, 10, hops).run(workers), ref) << workers << " workers";
+  }
+}
+
+TEST(ShardedSim, RunIndexedCoversAllIndicesOnceAnyWorkerCount) {
+  for (unsigned workers : {0u, 1u, 3u, 8u}) {
+    std::vector<int> hits(257, 0);
+    run_indexed(hits.size(), workers, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(std::count(hits.begin(), hits.end(), 1),
+              static_cast<std::ptrdiff_t>(hits.size()))
+        << workers << " workers";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storm tests — the TSan targets. Every shard floods every other shard each
+// window through deliberately undersized rings (forcing the overflow spill),
+// on a multi-worker pool.
+// ---------------------------------------------------------------------------
+
+struct StormRig {
+  StormRig(std::int32_t k, SimTime w, int rounds, int per_round,
+           std::uint32_t seq_start)
+      : ss(k, w),
+        rx(static_cast<std::size_t>(k)),
+        window(w),
+        rounds(rounds),
+        per_round(per_round) {
+    for (std::int32_t s = 0; s < k; ++s)
+      for (std::int32_t d = 0; d < k; ++d)
+        if (s != d) ss.connect(s, d, w, /*capacity=*/8, seq_start);
+  }
+
+  void round(std::int32_t src, int r) {
+    const SimTime now = ss.shard(src).now();
+    for (std::int32_t d = 0; d < ss.n_shards(); ++d) {
+      if (d == src) continue;
+      for (int i = 0; i < per_round; ++i) {
+        const int val = ((r * ss.n_shards()) + src) * per_round + i;
+        ss.post(src, d, now + window,
+                [this, d, val] { rx[static_cast<std::size_t>(d)].push_back(val); });
+      }
+    }
+    if (r + 1 < rounds) {
+      ss.shard(src).schedule_at(now + window,
+                                [this, src, r] { round(src, r + 1); });
+    }
+  }
+
+  std::vector<std::vector<int>> run(unsigned workers) {
+    for (std::int32_t s = 0; s < ss.n_shards(); ++s)
+      ss.shard(s).schedule_at(0, [this, s] { round(s, 0); });
+    ss.run(static_cast<SimTime>(rounds) * window + window, workers);
+    return rx;
+  }
+
+  ShardedSimulator ss;
+  std::vector<std::vector<int>> rx;
+  SimTime window;
+  int rounds;
+  int per_round;
+};
+
+TEST(ShardStorm, FloodIdenticalAcrossWorkerCountsWithOverflow) {
+  const std::int32_t k = 4;
+  const int rounds = 16, per_round = 12;  // 12 > ring capacity 8 -> spill
+  StormRig ref_rig(k, 10, rounds, per_round, 0);
+  const auto ref = ref_rig.run(1);
+  const std::uint64_t total =
+      static_cast<std::uint64_t>(rounds) * k * (k - 1) * per_round;
+  EXPECT_EQ(ref_rig.ss.stats().messages_posted, total);
+  EXPECT_EQ(ref_rig.ss.stats().messages_delivered, total);
+  EXPECT_GT(ref_rig.ss.stats().channel_overflows, 0u);
+  for (unsigned workers : {2u, 4u}) {
+    StormRig rig(k, 10, rounds, per_round, 0);
+    EXPECT_EQ(rig.run(workers), ref) << workers << " workers";
+    EXPECT_EQ(rig.ss.stats().messages_delivered, total);
+  }
+}
+
+TEST(ShardStorm, SeqWraparoundCrossShard) {
+  // Same flood with every channel's sequence space starting 5 short of the
+  // 32-bit wrap: the canonical (arrival, src, seq64) order must hold across
+  // the wrap, so the logs match the seq_start=0 reference exactly.
+  const std::int32_t k = 3;
+  const int rounds = 12, per_round = 10;
+  const auto ref = StormRig(k, 10, rounds, per_round, 0).run(1);
+  for (unsigned workers : {1u, 3u}) {
+    StormRig rig(k, 10, rounds, per_round, UINT32_MAX - 5);
+    EXPECT_EQ(rig.run(workers), ref) << workers << " workers";
+  }
+}
+
+}  // namespace
+}  // namespace lgsim::sim
+
+// ---------------------------------------------------------------------------
+// PodPartition
+// ---------------------------------------------------------------------------
+
+namespace lgsim::fabric {
+namespace {
+
+TEST(ShardPartition, ClampsAndCoversAllPods) {
+  TopologyConfig cfg;
+  cfg.pods = 10;
+  EXPECT_EQ(PodPartition::make(cfg, 0).n_shards(), 1);
+  EXPECT_EQ(PodPartition::make(cfg, 99).n_shards(), 10);
+
+  const PodPartition p = PodPartition::make(cfg, 4);
+  ASSERT_EQ(p.n_shards(), 4);
+  EXPECT_EQ(p.first_pod(0), 0);
+  EXPECT_EQ(p.first_pod(4), 10);  // end sentinel
+  std::int32_t covered = 0;
+  for (std::int32_t s = 0; s < 4; ++s) {
+    const std::int32_t n = p.pods_in_shard(s);
+    EXPECT_GE(n, 2);  // near-equal blocks of 10/4
+    EXPECT_LE(n, 3);
+    covered += n;
+    for (std::int32_t pod = p.first_pod(s); pod < p.first_pod(s + 1); ++pod)
+      EXPECT_EQ(p.shard_of_pod(pod), s);
+  }
+  EXPECT_EQ(covered, 10);
+}
+
+TEST(ShardPartition, LinkAndHostMappingFollowPodBlocks) {
+  TopologyConfig cfg;
+  cfg.pods = 6;
+  cfg.tors_per_pod = 4;
+  const std::int32_t hpt = 3;
+  const PodPartition p = PodPartition::make(cfg, 2);
+  ASSERT_EQ(p.n_shards(), 2);
+
+  Link l;
+  l.pod = 2;
+  EXPECT_EQ(p.shard_of_link(l), 0);
+  l.pod = 3;
+  EXPECT_EQ(p.shard_of_link(l), 1);
+
+  EXPECT_EQ(p.first_host(0, cfg, hpt), 0);
+  EXPECT_EQ(p.first_host(1, cfg, hpt), 3 * 4 * 3);
+  EXPECT_EQ(p.first_host(2, cfg, hpt), 6 * 4 * 3);  // end sentinel
+  EXPECT_EQ(p.shard_of_host(p.first_host(1, cfg, hpt) - 1, cfg, hpt), 0);
+  EXPECT_EQ(p.shard_of_host(p.first_host(1, cfg, hpt), cfg, hpt), 1);
+}
+
+}  // namespace
+}  // namespace lgsim::fabric

@@ -286,6 +286,48 @@ TEST(TrafficEngine, VictimOverflowFallsBackToFluid) {
   EXPECT_EQ(static_cast<std::int64_t>(r.fct_victim_us.count()), r.victims);
 }
 
+TEST(TrafficEngineShard, ShardedRunIsByteIdenticalToUnsharded) {
+  // The sharded runtime is a wall-clock knob only: the same configuration at
+  // shards 1, 2 and 8 (clamped to the 2 pods) must merge to the same bytes,
+  // at any cell-job and shard-worker count.
+  const TrafficResult ref = run_traffic(small_cfg(), 2);
+  ASSERT_GT(ref.victims, 0);
+  for (std::int32_t shards : {2, 8}) {
+    EngineConfig c = small_cfg();
+    c.shards = shards;
+    c.shard_workers = 2;
+    const TrafficResult r = run_traffic(c, 2);
+    EXPECT_EQ(r.generated, ref.generated) << shards << " shards";
+    EXPECT_EQ(r.completed, ref.completed);
+    EXPECT_EQ(r.stranded, ref.stranded);
+    EXPECT_EQ(r.victims, ref.victims);
+    EXPECT_EQ(r.packet_flows, ref.packet_flows);
+    EXPECT_EQ(r.fluid_flows, ref.fluid_flows);
+    EXPECT_EQ(r.victim_fluid_fallback, ref.victim_fluid_fallback);
+    EXPECT_TRUE(same_samples(r.fct_victim_us, ref.fct_victim_us));
+    EXPECT_TRUE(same_samples(r.fct_bg_us, ref.fct_bg_us));
+  }
+}
+
+TEST(TrafficEngineShard, ShardedBudgetFallbackMatchesUnsharded) {
+  // The per-cell packet budget is resolved canonically after the sharded
+  // generation pass, so even a saturated budget (every decision order-
+  // sensitive) must reproduce the legacy fallback accounting.
+  EngineConfig base = small_cfg();
+  base.max_packet_flows_per_cell = 1;
+  const TrafficResult ref = run_traffic(base, 1);
+  ASSERT_GT(ref.victim_fluid_fallback, 0);
+  EngineConfig c = base;
+  c.shards = 2;
+  c.shard_workers = 2;
+  const TrafficResult r = run_traffic(c, 2);
+  EXPECT_EQ(r.victim_fluid_fallback, ref.victim_fluid_fallback);
+  EXPECT_EQ(r.packet_flows, ref.packet_flows);
+  EXPECT_EQ(r.fluid_flows, ref.fluid_flows);
+  EXPECT_TRUE(same_samples(r.fct_victim_us, ref.fct_victim_us));
+  EXPECT_TRUE(same_samples(r.fct_bg_us, ref.fct_bg_us));
+}
+
 TEST(TrafficEngine, ExportMetricsMirrorsCounters) {
   const TrafficResult r = run_traffic(small_cfg(), 2);
   obs::MetricsRegistry m;
